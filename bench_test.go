@@ -1,0 +1,402 @@
+// Package eactors hosts the per-figure testing.B benchmarks of the
+// reproduction. Each BenchmarkFigN regenerates the measurements behind
+// one figure of the paper's evaluation at benchmark-friendly scale; the
+// full paper-scale sweeps live in cmd/eactors-bench.
+//
+// Custom metrics: req/s-style figures report "req/s"; the ping-pong
+// figure reports MiB/s; Figure 1 reports ns/op of one dequeue.
+package eactors
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/bench"
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/smc"
+	"github.com/eactors/eactors-go/internal/xmpp"
+	"github.com/eactors/eactors-go/internal/xmpp/baseline"
+	"github.com/eactors/eactors-go/internal/xmpp/client"
+)
+
+// --- Figure 1: concurrent dequeue from a mutex-protected stack -------
+
+func BenchmarkFig1MutexStack(b *testing.B) {
+	for _, threads := range []int{2, 8} {
+		b.Run(fmt.Sprintf("pthread/threads=%d", threads), func(b *testing.B) {
+			benchPthreadStack(b, threads)
+		})
+		b.Run(fmt.Sprintf("sgx/threads=%d", threads), func(b *testing.B) {
+			benchSGXStack(b, threads)
+		})
+	}
+}
+
+func benchPthreadStack(b *testing.B, threads int) {
+	var mu sync.Mutex
+	items := b.N
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if items == 0 {
+					mu.Unlock()
+					return
+				}
+				items--
+				// Single-core interleaving device (see internal/bench
+				// fig1.go): descheduling the holder is what makes the
+				// consumers contend at all on a 1-CPU host. Applied to
+				// both variants identically.
+				runtime.Gosched()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func benchSGXStack(b *testing.B, threads int) {
+	platform := sgx.NewPlatform()
+	enclave, err := platform.CreateEnclave("bench-stack", 64*1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer platform.DestroyEnclave(enclave)
+	mu := sgx.NewMutex(platform)
+	items := b.N
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := sgx.NewContext(platform)
+			if err := ctx.Enter(enclave); err != nil {
+				return
+			}
+			defer ctx.Exit()
+			for {
+				mu.Lock(ctx)
+				if items == 0 {
+					mu.Unlock(ctx)
+					return
+				}
+				items--
+				runtime.Gosched() // see benchPthreadStack
+				mu.Unlock(ctx)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// --- Figure 11: inter-enclave ping-pong ------------------------------
+
+func BenchmarkFig11PingPong(b *testing.B) {
+	for _, size := range []int{16, 32 << 10, 128 << 10} {
+		b.Run(fmt.Sprintf("Native/size=%d", size), func(b *testing.B) {
+			benchNativePingPong(b, size)
+		})
+		b.Run(fmt.Sprintf("EA/size=%d", size), func(b *testing.B) {
+			benchEAPingPong(b, size, false)
+		})
+		b.Run(fmt.Sprintf("EA-ENC/size=%d", size), func(b *testing.B) {
+			benchEAPingPong(b, size, true)
+		})
+	}
+}
+
+func benchNativePingPong(b *testing.B, size int) {
+	platform := sgx.NewPlatform()
+	ping, err := platform.CreateEnclave("bping", 64*1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer platform.DestroyEnclave(ping)
+	pong, err := platform.CreateEnclave("bpong", 64*1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer platform.DestroyEnclave(pong)
+
+	msg := make([]byte, size)
+	reply := make([]byte, size)
+	ctx := sgx.NewContext(platform)
+	b.SetBytes(int64(2 * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.Enter(ping); err != nil {
+			b.Fatal(err)
+		}
+		err := ctx.OCall(msg, reply, func() {
+			_ = ctx.ECall(pong, msg, reply, func() { copy(reply, msg) })
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.Exit()
+	}
+	reportMiBps(b, 2*size)
+}
+
+func benchEAPingPong(b *testing.B, size int, encrypted bool) {
+	d, err := bench.PingPongEA(b.N, size, sgx.DefaultCostModel(), encrypted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * size))
+	// The run times itself (runtime startup excluded); report its rates.
+	b.ReportMetric(float64(b.N)/d.Seconds(), "pairs/s")
+	b.ReportMetric((float64(b.N)*2*float64(size))/(1<<20)/d.Seconds(), "MiB/s")
+}
+
+func reportMiBps(b *testing.B, bytesPerOp int) {
+	b.ReportMetric(float64(b.N)*float64(bytesPerOp)/(1<<20)/b.Elapsed().Seconds(), "MiB/s")
+}
+
+// --- Figures 12/13: secure multi-party computation --------------------
+
+func BenchmarkFig12SMCPlain(b *testing.B)   { benchSMC(b, false) }
+func BenchmarkFig13SMCDynamic(b *testing.B) { benchSMC(b, true) }
+
+func benchSMC(b *testing.B, dynamic bool) {
+	for _, parties := range []int{3, 8} {
+		for _, dim := range []int{1, 1000} {
+			b.Run(fmt.Sprintf("EC/parties=%d/dim=%d", parties, dim), func(b *testing.B) {
+				svc, err := smc.NewSDK(smc.Options{
+					Parties: parties, Dim: dim, Dynamic: dynamic,
+					Platform: sgx.NewPlatform(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := svc.Round(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			})
+			b.Run(fmt.Sprintf("EA/parties=%d/dim=%d", parties, dim), func(b *testing.B) {
+				svc, err := smc.StartEA(smc.Options{
+					Parties: parties, Dim: dim, Dynamic: dynamic,
+					Platform: sgx.NewPlatform(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Stop()
+				base := svc.Rounds()
+				b.ResetTimer()
+				svc.WaitRounds(base + uint64(b.N))
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			})
+			// NET is the classical distributed deployment the use case
+			// replaces: the same protocol over loopback TCP (Section
+			// 5.2's motivation for co-locating the parties as enclaves).
+			b.Run(fmt.Sprintf("NET/parties=%d/dim=%d", parties, dim), func(b *testing.B) {
+				svc, err := smc.StartNetworked(smc.Options{
+					Parties: parties, Dim: dim, Dynamic: dynamic,
+					Platform: sgx.NewPlatform(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := svc.Round(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			})
+		}
+	}
+}
+
+// --- Figures 14-17: XMPP messaging service ----------------------------
+
+// benchO2ORoundTrips drives b.N send+response round trips through one
+// sender/receiver pair against the given address.
+func benchO2ORoundTrips(b *testing.B, addr string) {
+	recv, err := client.Dial(addr, "bench-recv", 30*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := client.Dial(addr, "bench-send", 30*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer send.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			msg, err := recv.ReadMessage(5 * time.Second)
+			if err != nil {
+				return
+			}
+			if err := recv.SendMessage(msg.From, msg.Body); err != nil {
+				return
+			}
+		}
+	}()
+
+	payload := "0123456789abcdef0123456789abcdef0123456789abcdef"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := send.SendMessage("bench-recv", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := send.ReadMessage(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	_ = recv.Close()
+	<-done
+}
+
+func startEAServer(b *testing.B, shards, enclaves int, trusted bool) *xmpp.Server {
+	srv, err := xmpp.Start(xmpp.Options{
+		Shards:       shards,
+		Trusted:      trusted,
+		EnclaveCount: enclaves,
+		Platform:     sgx.NewPlatform(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Stop)
+	return srv
+}
+
+func BenchmarkFig14XMPPScalability(b *testing.B) {
+	b.Run("EJB", func(b *testing.B) {
+		srv, err := baseline.Start(baseline.Options{Kind: baseline.EjabberdKind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Stop()
+		benchO2ORoundTrips(b, srv.Addr())
+	})
+	b.Run("JBD2", func(b *testing.B) {
+		srv, err := baseline.Start(baseline.Options{Kind: baseline.JabberD2Kind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Stop()
+		benchO2ORoundTrips(b, srv.Addr())
+	})
+	for name, shards := range map[string]int{"EA3": 1, "EA6": 2, "EA48": 16} {
+		b.Run(name, func(b *testing.B) {
+			srv := startEAServer(b, shards, shards, true)
+			benchO2ORoundTrips(b, srv.Addr())
+		})
+	}
+}
+
+func BenchmarkFig15GroupChat(b *testing.B) {
+	const members = 10
+	run := func(b *testing.B, addr string) {
+		clients := make([]*client.Client, members)
+		for i := range clients {
+			c, err := client.Dial(addr, fmt.Sprintf("m%d", i), 30*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.JoinRoom("bench"); err != nil {
+				b.Fatal(err)
+			}
+			clients[i] = c
+		}
+		time.Sleep(200 * time.Millisecond)
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, c := range clients[2:] {
+			wg.Add(1)
+			go func(c *client.Client) {
+				defer wg.Done()
+				for {
+					if _, err := c.ReadMessage(300 * time.Millisecond); err != nil {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+					}
+				}
+			}(c)
+		}
+		sender, monitor := clients[0], clients[1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sender.SendGroupMessage("bench", "group payload"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := monitor.ReadMessage(10 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		close(stop)
+		wg.Wait()
+	}
+
+	b.Run("JBD2-SSL", func(b *testing.B) {
+		srv, err := baseline.Start(baseline.Options{Kind: baseline.JabberD2Kind, SSL: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Stop()
+		run(b, srv.Addr())
+	})
+	b.Run("EA-trusted", func(b *testing.B) {
+		srv := startEAServer(b, 1, 1, true)
+		run(b, srv.Addr())
+	})
+	b.Run("EA-untrusted", func(b *testing.B) {
+		srv := startEAServer(b, 1, 0, false)
+		run(b, srv.Addr())
+	})
+}
+
+func BenchmarkFig16EnclaveCount(b *testing.B) {
+	for _, enclaves := range []int{1, 2, 16} {
+		b.Run(fmt.Sprintf("enclaves=%d", enclaves), func(b *testing.B) {
+			srv := startEAServer(b, 16, enclaves, true)
+			benchO2ORoundTrips(b, srv.Addr())
+		})
+	}
+}
+
+func BenchmarkFig17TrustedOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		trusted bool
+	}{{"trusted", true}, {"untrusted", false}} {
+		for name, shards := range map[string]int{"EA3": 1, "EA48": 16} {
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
+				srv := startEAServer(b, shards, 1, mode.trusted)
+				benchO2ORoundTrips(b, srv.Addr())
+			})
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command eactors-plot renders CSV sweep output from eactors-bench as
+// SVG line charts, one per figure — regenerating the paper's figures as
+// images.
+//
+// Usage:
+//
+//	eactors-bench -fig 14 -format csv > fig14.csv
+//	eactors-plot -in fig14.csv -out ./figures
+//	eactors-plot -in fig14.csv -out ./figures -log fig14,fig1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/eactors/eactors-go/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eactors-plot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "-", "input CSV (default stdin)")
+	out := flag.String("out", ".", "output directory for SVG files")
+	logFigs := flag.String("log", "fig1,fig14", "comma-separated figures plotted with log-scale y")
+	flag.Parse()
+
+	var rows []bench.Row
+	var err error
+	if *in == "-" {
+		rows, err = bench.ParseCSV(os.Stdin)
+	} else {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		rows, err = bench.ParseCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	logSet := map[string]bool{}
+	for _, f := range strings.Split(*logFigs, ",") {
+		logSet[strings.TrimSpace(f)] = true
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, figure := range bench.Figures(rows) {
+		path := filepath.Join(*out, figure+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = bench.RenderSVG(f, figure, rows, bench.PlotOptions{LogY: logSet[figure]})
+		closeErr := f.Close()
+		if err != nil {
+			return fmt.Errorf("render %s: %w", figure, err)
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

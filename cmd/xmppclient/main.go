@@ -1,0 +1,153 @@
+// Command xmppclient is an interactive client for the EActors messaging
+// service (and the baseline servers — they speak the same subset).
+//
+// Usage:
+//
+//	xmppclient -server 127.0.0.1:5222 -user alice
+//
+// Commands at the prompt:
+//
+//	/msg <user> <text>     send a one-to-one message
+//	/join <room>           join a group chat
+//	/leave <room>          leave a group chat
+//	/room <room> <text>    send a (service-re-encrypted) group message
+//	/ping                  ping the service
+//	/who <user>            ask whether a user is online
+//	/quit                  close the stream and exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/xmpp/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmppclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := ""
+	user := ""
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-server":
+			i++
+			if i < len(args) {
+				server = args[i]
+			}
+		case "-user":
+			i++
+			if i < len(args) {
+				user = args[i]
+			}
+		default:
+			return fmt.Errorf("unknown argument %q", args[i])
+		}
+	}
+	if server == "" || user == "" {
+		return fmt.Errorf("usage: xmppclient -server host:port -user name")
+	}
+
+	c, err := client.Dial(server, user, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s as %s\n", server, user)
+
+	// Receiver loop.
+	go func() {
+		for {
+			msg, err := c.ReadMessage(0)
+			if err != nil {
+				fmt.Println("\n[connection closed]")
+				os.Exit(0)
+			}
+			if msg.Group {
+				fmt.Printf("\r[%s] %s: %s\n> ", msg.To, msg.From, msg.Body)
+			} else {
+				fmt.Printf("\r%s: %s\n> ", msg.From, msg.Body)
+			}
+		}
+	}()
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			fmt.Print("> ")
+			continue
+		}
+		if err := handle(c, line); err != nil {
+			if err == errQuit {
+				return nil
+			}
+			fmt.Println("error:", err)
+		}
+		fmt.Print("> ")
+	}
+	return scanner.Err()
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func handle(c *client.Client, line string) error {
+	fields := strings.SplitN(line, " ", 3)
+	switch fields[0] {
+	case "/msg":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: /msg <user> <text>")
+		}
+		return c.SendMessage(fields[1], fields[2])
+	case "/join":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: /join <room>")
+		}
+		return c.JoinRoom(fields[1])
+	case "/leave":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: /leave <room>")
+		}
+		return c.LeaveRoom(fields[1])
+	case "/room":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: /room <room> <text>")
+		}
+		return c.SendGroupMessage(fields[1], fields[2])
+	case "/ping":
+		start := time.Now()
+		if err := c.Ping(5 * time.Second); err != nil {
+			return err
+		}
+		fmt.Printf("pong in %v\n", time.Since(start).Round(time.Microsecond))
+		return nil
+	case "/who":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: /who <user>")
+		}
+		online, err := c.QueryOnline(fields[1], 5*time.Second)
+		if err != nil {
+			return err
+		}
+		state := "offline"
+		if online {
+			state = "online"
+		}
+		fmt.Printf("%s is %s\n", fields[1], state)
+		return nil
+	case "/quit":
+		return errQuit
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}

@@ -1,0 +1,270 @@
+// Command xmppload drives the paper's messaging workloads against any
+// server speaking the XMPP subset (the EActors service or a baseline)
+// and reports throughput plus latency percentiles — the libstrophe
+// client driver of Section 6.4, as a standalone tool.
+//
+// Usage:
+//
+//	xmppload -server 127.0.0.1:5222 -clients 100 -duration 30s
+//	xmppload -server 127.0.0.1:5222 -group room1 -clients 50 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/xmpp/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmppload:", err)
+		os.Exit(1)
+	}
+}
+
+// latencyRecorder collects request latencies for percentile reporting.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (r *latencyRecorder) record(d time.Duration) {
+	r.mu.Lock()
+	if len(r.samples) < 1_000_000 {
+		r.samples = append(r.samples, d)
+	}
+	r.mu.Unlock()
+}
+
+func (r *latencyRecorder) percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (r *latencyRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+func run() error {
+	server := flag.String("server", "", "server address (required)")
+	clients := flag.Int("clients", 10, "concurrent clients (half send, half receive in O2O mode)")
+	duration := flag.Duration("duration", 10*time.Second, "measure window")
+	warmup := flag.Duration("warmup", time.Second, "warmup before measuring")
+	group := flag.String("group", "", "group-chat room: all clients join it, one sends")
+	payload := flag.Int("payload", 150, "message payload bytes")
+	flag.Parse()
+	if *server == "" {
+		return fmt.Errorf("-server is required")
+	}
+	if *group != "" {
+		return runGroup(*server, *group, *clients, *payload, *warmup, *duration)
+	}
+	return runO2O(*server, *clients, *payload, *warmup, *duration)
+}
+
+func makePayload(n int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rand.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func runO2O(server string, clients, payloadBytes int, warmup, duration time.Duration) error {
+	if clients%2 != 0 {
+		clients++
+	}
+	pairs := clients / 2
+	payload := makePayload(payloadBytes)
+
+	fmt.Printf("xmppload: O2O against %s, %d clients (%d pairs), %v warmup + %v measure\n",
+		server, clients, pairs, warmup, duration)
+
+	receivers := make([]*client.Client, pairs)
+	senders := make([]*client.Client, pairs)
+	for i := 0; i < pairs; i++ {
+		var err error
+		if receivers[i], err = client.Dial(server, fmt.Sprintf("load-recv-%d", i), 30*time.Second); err != nil {
+			return fmt.Errorf("dial receiver %d: %w", i, err)
+		}
+		defer receivers[i].Close()
+	}
+	for i := 0; i < pairs; i++ {
+		var err error
+		if senders[i], err = client.Dial(server, fmt.Sprintf("load-send-%d", i), 30*time.Second); err != nil {
+			return fmt.Errorf("dial sender %d: %w", i, err)
+		}
+		defer senders[i].Close()
+	}
+
+	var completed atomic.Uint64
+	var measuring atomic.Bool
+	rec := &latencyRecorder{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for _, c := range receivers {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			for {
+				msg, err := c.ReadMessage(500 * time.Millisecond)
+				if err != nil {
+					select {
+					case <-stop:
+						return
+					default:
+						continue
+					}
+				}
+				_ = c.SendMessage(msg.From, msg.Body)
+			}
+		}(c)
+	}
+	for i, c := range senders {
+		wg.Add(1)
+		go func(idx int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(idx + 1)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target := fmt.Sprintf("load-recv-%d", rng.Intn(pairs))
+				start := time.Now()
+				if err := c.SendMessage(target, payload); err != nil {
+					return
+				}
+				if _, err := c.ReadMessage(5 * time.Second); err != nil {
+					continue
+				}
+				if measuring.Load() {
+					completed.Add(1)
+					rec.record(time.Since(start))
+				}
+			}
+		}(i, c)
+	}
+
+	time.Sleep(warmup)
+	measuring.Store(true)
+	time.Sleep(duration)
+	measuring.Store(false)
+	close(stop)
+	wg.Wait()
+
+	total := completed.Load()
+	fmt.Printf("throughput: %.0f req/s (%d requests in %v)\n",
+		float64(total)/duration.Seconds(), total, duration)
+	fmt.Printf("latency:    p50=%v p95=%v p99=%v (%d samples)\n",
+		rec.percentile(0.50).Round(time.Microsecond),
+		rec.percentile(0.95).Round(time.Microsecond),
+		rec.percentile(0.99).Round(time.Microsecond),
+		rec.count())
+	return nil
+}
+
+func runGroup(server, room string, members, payloadBytes int, warmup, duration time.Duration) error {
+	if members < 2 {
+		members = 2
+	}
+	payload := makePayload(payloadBytes)
+	fmt.Printf("xmppload: group %q against %s, %d members, %v warmup + %v measure\n",
+		room, server, members, warmup, duration)
+
+	clients := make([]*client.Client, members)
+	for i := range clients {
+		var err error
+		if clients[i], err = client.Dial(server, fmt.Sprintf("load-member-%d", i), 30*time.Second); err != nil {
+			return fmt.Errorf("dial member %d: %w", i, err)
+		}
+		defer clients[i].Close()
+		if err := clients[i].JoinRoom(room); err != nil {
+			return err
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	var delivered atomic.Uint64
+	var measuring atomic.Bool
+	rec := &latencyRecorder{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for _, c := range clients[2:] {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			for {
+				if _, err := c.ReadMessage(500 * time.Millisecond); err != nil {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				} else if measuring.Load() {
+					delivered.Add(1)
+				}
+			}
+		}(c)
+	}
+	sender, monitor := clients[0], clients[1]
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			start := time.Now()
+			if err := sender.SendGroupMessage(room, payload); err != nil {
+				return
+			}
+			if _, err := monitor.ReadMessage(5 * time.Second); err != nil {
+				continue
+			}
+			if measuring.Load() {
+				delivered.Add(1)
+				rec.record(time.Since(start))
+			}
+		}
+	}()
+
+	time.Sleep(warmup)
+	measuring.Store(true)
+	time.Sleep(duration)
+	measuring.Store(false)
+	close(stop)
+	wg.Wait()
+
+	total := delivered.Load()
+	perReq := float64(total) / float64(members-1)
+	fmt.Printf("throughput: %.0f group msg/s (%d deliveries to %d members)\n",
+		perReq/duration.Seconds(), total, members-1)
+	fmt.Printf("first-delivery latency: p50=%v p95=%v p99=%v\n",
+		rec.percentile(0.50).Round(time.Microsecond),
+		rec.percentile(0.95).Round(time.Microsecond),
+		rec.percentile(0.99).Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,133 @@
+// Keyvalue: the Persistent Object Store of Section 4.1. An enclaved
+// eactor keeps user profiles in an encrypted, file-backed POS; the
+// store's encryption key is sealed to the enclave identity and stored
+// inside the POS itself, so a restart of the same enclave recovers it
+// while any other enclave (or the untrusted host) cannot.
+//
+// Run: go run ./examples/keyvalue
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/pos"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "keyvalue:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "eactors-keyvalue")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	storePath := filepath.Join(dir, "profiles.pos")
+
+	// The platform secret stands in for the physical machine identity;
+	// keeping it fixed lets "reboots" unseal.
+	platform := sgx.NewPlatform(sgx.WithPlatformSecret([]byte("example-machine")))
+	enclave, err := platform.CreateEnclave("profile-service", 0)
+	if err != nil {
+		return err
+	}
+
+	// First boot: generate a store key inside the enclave, seal it, and
+	// keep the sealed blob in the POS key slot.
+	var storeKey [ecrypto.KeySize]byte
+	enclave.ReadRand(storeKey[:])
+	store, err := pos.Open(pos.Options{
+		Path: storePath, SizeBytes: 1 << 20, EncryptionKey: &storeKey,
+	})
+	if err != nil {
+		return err
+	}
+	sealed, err := enclave.Seal(storeKey[:], []byte("pos-store-key"))
+	if err != nil {
+		return err
+	}
+	if err := store.StoreSealedKey(sealed); err != nil {
+		return err
+	}
+
+	// Business as usual: profile writes and reads, plus housekeeping.
+	reader := store.RegisterReader()
+	profiles := map[string]string{
+		"alice": "prefers-dark-mode",
+		"bob":   "speaks-french",
+		"carol": "admin",
+	}
+	for user, profile := range profiles {
+		if err := store.Set([]byte(user), []byte(profile)); err != nil {
+			return err
+		}
+	}
+	if err := store.Set([]byte("alice"), []byte("prefers-light-mode")); err != nil {
+		return err
+	}
+	reader.Tick()
+	reclaimed, err := store.Clean()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("keyvalue: cleaner reclaimed %d outdated version(s)\n", reclaimed)
+	if err := store.Sync(); err != nil {
+		return err
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+
+	// "Reboot": a fresh platform object with the same machine secret and
+	// the same enclave identity recovers the sealed key and the data.
+	platform2 := sgx.NewPlatform(sgx.WithPlatformSecret([]byte("example-machine")))
+	enclave2, err := platform2.CreateEnclave("profile-service", 0)
+	if err != nil {
+		return err
+	}
+	bootstrap, err := pos.Open(pos.Options{Path: storePath, SizeBytes: 1 << 20})
+	if err != nil {
+		return err
+	}
+	sealedBlob, err := bootstrap.LoadSealedKey()
+	if err != nil {
+		return err
+	}
+	if err := bootstrap.Close(); err != nil {
+		return err
+	}
+	keyBytes, err := enclave2.Unseal(sealedBlob, []byte("pos-store-key"))
+	if err != nil {
+		return fmt.Errorf("unseal after reboot: %w", err)
+	}
+	var recovered [ecrypto.KeySize]byte
+	copy(recovered[:], keyBytes)
+
+	store2, err := pos.Open(pos.Options{
+		Path: storePath, SizeBytes: 1 << 20, EncryptionKey: &recovered,
+	})
+	if err != nil {
+		return err
+	}
+	defer store2.Close()
+	for _, user := range []string{"alice", "bob", "carol"} {
+		val, ok, err := store2.Get([]byte(user))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("profile %q lost across reboot", user)
+		}
+		fmt.Printf("keyvalue: %s -> %s\n", user, val)
+	}
+	fmt.Println("keyvalue: encrypted store survived the reboot; key recovered via sealing")
+	return nil
+}

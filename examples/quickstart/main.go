@@ -1,0 +1,118 @@
+// Quickstart: the paper's Listing-1 ping-pong, deployed across two
+// enclaves. It shows the three core ideas of EActors:
+//
+//  1. eactor code (Body/Init) never mentions enclaves — the Config does;
+//  2. channels are uniform: because ping and pong live in different
+//     enclaves the runtime transparently encrypts the channel with a key
+//     from simulated local attestation;
+//  3. workers whose eactors stay in one enclave never pay transitions.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+const rounds = 10000
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+type pingState struct {
+	first bool
+	count int
+	buf   []byte
+}
+
+func run() error {
+	platform := sgx.NewPlatform() // paper-calibrated SGX cost model
+
+	cfg := core.Config{
+		// Two enclaves, two workers: each worker stays inside "its"
+		// enclave for the whole run.
+		Enclaves: []core.EnclaveSpec{{Name: "left"}, {Name: "right"}},
+		Workers:  []core.WorkerSpec{{}, {}},
+		Channels: []core.ChannelSpec{
+			// ping and pong are in different enclaves, so this channel
+			// is transparently encrypted. Add Plaintext: true to see the
+			// EA (non-encrypted) variant of the paper's Figure 11.
+			{Name: "pp", A: "ping", B: "pong"},
+		},
+		Actors: []core.Spec{
+			{
+				Name: "ping", Enclave: "left", Worker: 0,
+				State: &pingState{first: true, buf: make([]byte, 16)},
+				Body:  pingBody,
+			},
+			{
+				Name: "pong", Enclave: "right", Worker: 1,
+				State: &pingState{buf: make([]byte, 16)},
+				Body:  pongBody,
+			},
+		},
+	}
+
+	rt, err := core.NewRuntime(platform, cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	rt.Wait()
+	elapsed := time.Since(start)
+	rt.Stop()
+
+	stats := platform.Snapshot()
+	fmt.Printf("quickstart: %d encrypted ping-pong pairs across two enclaves in %v (%.0f pairs/s)\n",
+		rounds, elapsed.Round(time.Millisecond), float64(rounds)/elapsed.Seconds())
+	fmt.Printf("quickstart: enclave crossings paid: %d (startup/shutdown only — no per-message transitions)\n",
+		stats.Crossings)
+	return nil
+}
+
+// pingBody mirrors the paper's Listing 1: send a ping on first
+// activation, then answer every pong with the next ping.
+func pingBody(self *core.Self) {
+	st := self.State.(*pingState)
+	ch := self.MustChannel("pp")
+	if st.first {
+		st.first = false
+		_ = ch.Send([]byte("ping"))
+		self.Progress()
+		return
+	}
+	n, ok, err := ch.Recv(st.buf)
+	if err != nil || !ok || string(st.buf[:n]) != "pong" {
+		return
+	}
+	st.count++
+	if st.count >= rounds {
+		self.StopRuntime()
+		return
+	}
+	_ = ch.Send([]byte("ping"))
+	self.Progress()
+}
+
+func pongBody(self *core.Self) {
+	st := self.State.(*pingState)
+	ch := self.MustChannel("pp")
+	n, ok, err := ch.Recv(st.buf)
+	if err != nil || !ok || string(st.buf[:n]) != "ping" {
+		return
+	}
+	_ = ch.Send([]byte("pong"))
+	self.Progress()
+}

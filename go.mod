@@ -1,0 +1,3 @@
+module github.com/eactors/eactors-go
+
+go 1.22

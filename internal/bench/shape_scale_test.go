@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// The at-scale shape tests run the messaging sweeps with real client
+// load and assert the paper's qualitative orderings. They take tens of
+// seconds each, so `go test -short` skips them; the reduced-shape tests
+// in bench_test.go still run.
+
+func TestFig14ShapeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("at-scale shape test")
+	}
+	rows, err := Fig14Scalability(Fig14Config{
+		Clients:     []int{200},
+		Deployments: []string{"EJB", "JBD2", "EA/3"},
+		Warmup:      time.Second,
+		Measure:     3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ejb, _ := SeriesValue(rows, "fig14", "EJB", 200)
+	jbd2, _ := SeriesValue(rows, "fig14", "JBD2", 200)
+	ea3, _ := SeriesValue(rows, "fig14", "EA/3", 200)
+	t.Logf("fig14 @200 clients: EJB=%.0f JBD2=%.0f EA/3=%.0f req/s", ejb, jbd2, ea3)
+	// Paper ordering (Figure 14): EA/3 > JBD2 > EJB. Run-to-run noise on
+	// shared single-core hosts is large, so JBD2 vs EJB gets a 15%
+	// tolerance and the EA factors a generous band around the paper's
+	// 1.81x / 2.42x.
+	if ea3 <= jbd2 || ea3 <= ejb {
+		t.Errorf("EA/3 (%.0f) not above both baselines (JBD2=%.0f EJB=%.0f)", ea3, jbd2, ejb)
+	}
+	if jbd2 < 0.85*ejb {
+		t.Errorf("JBD2 (%.0f) clearly below EJB (%.0f)", jbd2, ejb)
+	}
+	if r := ea3 / jbd2; r < 1.1 || r > 5 {
+		t.Errorf("EA/3 / JBD2 = %.2f outside [1.1, 5]", r)
+	}
+	if r := ea3 / ejb; r < 1.2 || r > 7 {
+		t.Errorf("EA/3 / EJB = %.2f outside [1.2, 7]", r)
+	}
+}
+
+func TestFig15ShapeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("at-scale shape test")
+	}
+	rows, err := Fig15GroupChat(Fig15Config{
+		Participants: []int{20, 100},
+		Warmup:       500 * time.Millisecond,
+		Measure:      3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{20, 100} {
+		ejb, _ := SeriesValue(rows, "fig15", "EJB", n)
+		jbd2, _ := SeriesValue(rows, "fig15", "JBD2", n)
+		trusted, _ := SeriesValue(rows, "fig15", "EA/trusted", n)
+		untrusted, _ := SeriesValue(rows, "fig15", "EA/untrusted", n)
+		t.Logf("fig15 @%v: EJB=%.0f JBD2=%.0f EA/t=%.0f EA/u=%.0f req/s", n, ejb, jbd2, trusted, untrusted)
+		// Paper (Figure 15): EA above JBD2 above EJB; trusted and
+		// untrusted EA indistinguishable.
+		if !(trusted > jbd2 && untrusted > jbd2) {
+			t.Errorf("n=%v: EA (%.0f/%.0f) not above JBD2 (%.0f)", n, trusted, untrusted, jbd2)
+		}
+		ratio := trusted / untrusted
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("n=%v: trusted/untrusted = %.2f, want ~1", n, ratio)
+		}
+	}
+	// Throughput falls with group size for every system.
+	for _, series := range []string{"EJB", "JBD2", "EA/trusted", "EA/untrusted"} {
+		small, _ := SeriesValue(rows, "fig15", series, 20)
+		large, _ := SeriesValue(rows, "fig15", series, 100)
+		if large >= small {
+			t.Errorf("%s did not degrade with group size (%.0f -> %.0f)", series, small, large)
+		}
+	}
+}
+
+func TestFig17ShapeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("at-scale shape test")
+	}
+	rows, err := Fig17TrustedOverhead(Fig17Config{
+		Deployments: []string{"EA/3"},
+		Clients:     100,
+		Warmup:      time.Second,
+		Measure:     3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted, _ := SeriesValue(rows, "fig17", "EA/3/trusted", 1)
+	untrusted, _ := SeriesValue(rows, "fig17", "EA/3/untrusted", 0)
+	t.Logf("fig17 @100 clients: trusted=%.0f untrusted=%.0f req/s", trusted, untrusted)
+	// Paper (Figure 17): no perceptible overhead.
+	ratio := trusted / untrusted
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("trusted/untrusted = %.2f, want ~1", ratio)
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/smc"
+)
+
+// SMCConfig parameterises the secure-sum reproduction (Figures 12 and
+// 13): EC/k is the SGX-SDK deployment with k parties, EA/k the EActors
+// deployment. The paper measures 10,000 invocations per point; Rounds
+// scales that.
+type SMCConfig struct {
+	// Figure is "fig12" (plain) or "fig13" (dynamic secrets).
+	Figure  string
+	Dynamic bool
+	// ShortDims / LongDims are the (a)/(b) sweeps at PartiesAB parties;
+	// PartySweep is the (c) sweep at PartyDims dimensions.
+	ShortDims  []int
+	LongDims   []int
+	PartiesAB  []int
+	PartySweep []int
+	PartyDims  []int
+	Rounds     int
+	Costs      *sgx.CostModel
+}
+
+// DefaultSMC returns the paper-scale sweep for the given case.
+func DefaultSMC(dynamic bool) SMCConfig {
+	figure := "fig12"
+	if dynamic {
+		figure = "fig13"
+	}
+	return SMCConfig{
+		Figure:     figure,
+		Dynamic:    dynamic,
+		ShortDims:  []int{1, 20, 40, 60, 80, 100},
+		LongDims:   []int{1000, 2000, 4000, 6000, 8000, 10000},
+		PartiesAB:  []int{3, 8},
+		PartySweep: []int{3, 4, 5, 6, 7, 8},
+		PartyDims:  []int{1, 1000, 2000},
+		Rounds:     10_000,
+		Costs:      sgx.DefaultCostModel(),
+	}
+}
+
+// FigSMC runs the whole sweep for one case. Three series are emitted
+// per deployment pair: EC/k (SDK wall-clock), EA/k (EActors wall-clock
+// on this host) and EA/k* (EActors pipeline model — the throughput of
+// the ring with one core per party, composed from the measured stage
+// times; on a single-core CI host the wall-clock EA numbers cannot show
+// the pipelining the paper's 8-thread machine provides, the model rows
+// restore exactly that effect and nothing else).
+func FigSMC(cfg SMCConfig) ([]Row, error) {
+	var rows []Row
+	add := func(sub, series string, xLabel string, x float64, thr float64) {
+		rows = append(rows, Row{
+			Figure: cfg.Figure + sub, Series: series,
+			XLabel: xLabel, X: x, Value: thr, Unit: "req/s",
+		})
+	}
+
+	// (a) short and (b) long vectors at the two extreme party counts.
+	for _, sweep := range []struct {
+		sub  string
+		dims []int
+	}{{"a", cfg.ShortDims}, {"b", cfg.LongDims}} {
+		for _, parties := range cfg.PartiesAB {
+			for _, dim := range sweep.dims {
+				p, err := smcPoint(cfg, parties, dim)
+				if err != nil {
+					return nil, err
+				}
+				add(sweep.sub, fmt.Sprintf("EC/%d", parties), "dim", float64(dim), p.ec)
+				add(sweep.sub, fmt.Sprintf("EA/%d", parties), "dim", float64(dim), p.ea)
+				add(sweep.sub, fmt.Sprintf("EA/%d*", parties), "dim", float64(dim), p.eaModel)
+			}
+		}
+	}
+
+	// (c) party sweep at fixed dimensions.
+	for _, dim := range cfg.PartyDims {
+		for _, parties := range cfg.PartySweep {
+			p, err := smcPoint(cfg, parties, dim)
+			if err != nil {
+				return nil, err
+			}
+			add("c", fmt.Sprintf("EC-%d", dim), "parties", float64(parties), p.ec)
+			add("c", fmt.Sprintf("EA-%d", dim), "parties", float64(parties), p.ea)
+			add("c", fmt.Sprintf("EA-%d*", dim), "parties", float64(parties), p.eaModel)
+		}
+	}
+	return rows, nil
+}
+
+// smcMeasurement is one (parties, dim) point.
+type smcMeasurement struct {
+	ec      float64 // SDK deployment, wall clock
+	ea      float64 // EActors deployment, wall clock on this host
+	eaModel float64 // EActors pipeline model (one core per party)
+}
+
+// smcPoint measures one (parties, dim) point for both deployments,
+// returning requests/second.
+func smcPoint(cfg SMCConfig, parties, dim int) (out smcMeasurement, err error) {
+	opts := smc.Options{
+		Parties:  parties,
+		Dim:      dim,
+		Dynamic:  cfg.Dynamic,
+		Platform: sgx.NewPlatform(sgx.WithCostModel(cfg.Costs)),
+	}
+
+	// SDK deployment: time Rounds closed-loop invocations.
+	sdk, err := smc.NewSDK(opts)
+	if err != nil {
+		return out, err
+	}
+	start := time.Now()
+	for r := 0; r < cfg.Rounds; r++ {
+		if _, err := sdk.Round(); err != nil {
+			sdk.Close()
+			return out, err
+		}
+	}
+	out.ec = float64(cfg.Rounds) / time.Since(start).Seconds()
+	if bottleneck := sdk.PipelinedRoundTime(); bottleneck > 0 {
+		out.eaModel = 1 / bottleneck.Seconds()
+	}
+	sdk.Close()
+
+	// EActors deployment: fresh platform, run the same round count.
+	opts.Platform = sgx.NewPlatform(sgx.WithCostModel(cfg.Costs))
+	ea, err := smc.StartEA(opts)
+	if err != nil {
+		return out, err
+	}
+	// Let the pipeline warm up before timing.
+	ea.WaitRounds(uint64(min(cfg.Rounds/10+1, 100)))
+	base := ea.Rounds()
+	start = time.Now()
+	ea.WaitRounds(base + uint64(cfg.Rounds))
+	out.ea = float64(cfg.Rounds) / time.Since(start).Seconds()
+	ea.Stop()
+	return out, nil
+}

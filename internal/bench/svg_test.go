@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func svgRows() []Row {
+	return []Row{
+		{Figure: "figZ", Series: "EA", XLabel: "clients", X: 100, Value: 1000, Unit: "req/s"},
+		{Figure: "figZ", Series: "EA", XLabel: "clients", X: 200, Value: 1800, Unit: "req/s"},
+		{Figure: "figZ", Series: "JBD2", XLabel: "clients", X: 100, Value: 600, Unit: "req/s"},
+		{Figure: "figZ", Series: "JBD2", XLabel: "clients", X: 200, Value: 650, Unit: "req/s"},
+		{Figure: "other", Series: "X", XLabel: "n", X: 1, Value: 2, Unit: "s"},
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSVG(&sb, "figZ", svgRows(), PlotOptions{Title: "Scalability"}); err != nil {
+		t.Fatalf("RenderSVG: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "Scalability", "EA", "JBD2", "clients", "req/s", "<path", "<circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Rows of the other figure must not leak in.
+	if strings.Contains(out, ">X<") {
+		t.Error("foreign series leaked into the chart")
+	}
+}
+
+func TestRenderSVGLog(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSVG(&sb, "figZ", svgRows(), PlotOptions{LogY: true}); err != nil {
+		t.Fatalf("log RenderSVG: %v", err)
+	}
+	if !strings.Contains(sb.String(), "<path") {
+		t.Fatal("log chart has no series path")
+	}
+}
+
+func TestRenderSVGUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSVG(&sb, "missing", svgRows(), PlotOptions{}); err == nil {
+		t.Fatal("unknown figure rendered")
+	}
+}
+
+func TestRenderSVGSinglePoint(t *testing.T) {
+	rows := []Row{{Figure: "one", Series: "S", XLabel: "n", X: 5, Value: 7, Unit: "s"}}
+	var sb strings.Builder
+	if err := RenderSVG(&sb, "one", rows, PlotOptions{}); err != nil {
+		t.Fatalf("single-point chart: %v", err)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	figs := Figures(svgRows())
+	if len(figs) != 2 || figs[0] != "figZ" || figs[1] != "other" {
+		t.Fatalf("Figures = %v", figs)
+	}
+}
+
+func TestCSVRoundTripThroughParse(t *testing.T) {
+	rows := svgRows()
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ParseCSV(strings.NewReader("f,s,l,notanumber,2,u\n")); err == nil {
+		t.Fatal("bad x accepted")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		25_000:    "25k",
+		2_500:     "2.5k",
+		250:       "250",
+		2.5:       "2.50",
+		0.001:     "0.001",
+		0:         "0",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

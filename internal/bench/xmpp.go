@@ -1,0 +1,456 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/xmpp"
+	"github.com/eactors/eactors-go/internal/xmpp/baseline"
+	"github.com/eactors/eactors-go/internal/xmpp/client"
+)
+
+// messagePayloadBytes matches the paper's O2O workload: pseudo-random
+// strings of at most 150 bytes (Section 6.4.1).
+const messagePayloadBytes = 150
+
+// xmppDeployment abstracts "some server we can point clients at".
+type xmppDeployment struct {
+	name string
+	addr string
+	stop func()
+}
+
+// startDeployment launches one of the five Figure 14 systems.
+//
+//	EJB    — ejabberd baseline
+//	JBD2   — JabberD2 baseline
+//	EA/3   — EActors, 1 XMPP shard (3 eactors)
+//	EA/6   — EActors, 2 shards
+//	EA/48  — EActors, 16 shards
+func startDeployment(name string, trusted bool, enclaves int, ssl bool) (*xmppDeployment, error) {
+	switch name {
+	case "EJB":
+		srv, err := baseline.Start(baseline.Options{Kind: baseline.EjabberdKind, SSL: ssl})
+		if err != nil {
+			return nil, err
+		}
+		return &xmppDeployment{name: name, addr: srv.Addr(), stop: srv.Stop}, nil
+	case "JBD2":
+		srv, err := baseline.Start(baseline.Options{Kind: baseline.JabberD2Kind, SSL: ssl})
+		if err != nil {
+			return nil, err
+		}
+		return &xmppDeployment{name: name, addr: srv.Addr(), stop: srv.Stop}, nil
+	}
+	shards, ok := map[string]int{"EA/3": 1, "EA/6": 2, "EA/48": 16}[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown deployment %q", name)
+	}
+	if enclaves == 0 {
+		enclaves = shards
+	}
+	srv, err := xmpp.Start(xmpp.Options{
+		Shards:       shards,
+		Trusted:      trusted,
+		EnclaveCount: enclaves,
+		Platform:     sgx.NewPlatform(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &xmppDeployment{name: name, addr: srv.Addr(), stop: srv.Stop}, nil
+}
+
+// runO2OWorkload drives the paper's one-to-one scenario: half the
+// clients send, half receive and respond; a completed send+response is
+// one request. Returns requests/second over the measure window.
+func runO2OWorkload(addr string, clients int, warmup, measure time.Duration) (float64, error) {
+	if clients%2 != 0 {
+		clients++
+	}
+	pairs := clients / 2
+	payload := string(randomPayload(messagePayloadBytes))
+
+	conns := make([]*client.Client, 0, clients)
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+
+	// Connect receivers first so senders never target an offline user.
+	receivers := make([]*client.Client, pairs)
+	for i := 0; i < pairs; i++ {
+		c, err := client.Dial(addr, fmt.Sprintf("recv-%d", i), 30*time.Second)
+		if err != nil {
+			return 0, fmt.Errorf("bench: dial receiver %d: %w", i, err)
+		}
+		receivers[i] = c
+		conns = append(conns, c)
+	}
+	senders := make([]*client.Client, pairs)
+	for i := 0; i < pairs; i++ {
+		c, err := client.Dial(addr, fmt.Sprintf("send-%d", i), 30*time.Second)
+		if err != nil {
+			return 0, fmt.Errorf("bench: dial sender %d: %w", i, err)
+		}
+		senders[i] = c
+		conns = append(conns, c)
+	}
+
+	var completed atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Receivers echo every message back to its sender.
+	for i := range receivers {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			for {
+				msg, err := c.ReadMessage(500 * time.Millisecond)
+				if err != nil {
+					select {
+					case <-stop:
+						return
+					default:
+						continue
+					}
+				}
+				_ = c.SendMessage(msg.From, msg.Body)
+			}
+		}(receivers[i])
+	}
+
+	// Senders run closed loops: send, await the response, repeat. Each
+	// sender picks a receiver pseudo-randomly per round (paper: "a
+	// sender client randomly selects a receiver client").
+	for i := range senders {
+		wg.Add(1)
+		go func(idx int, c *client.Client) {
+			defer wg.Done()
+			rng := uint32(idx*2654435761 + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng = rng*1664525 + 1013904223
+				target := fmt.Sprintf("recv-%d", int(rng)%pairs)
+				if err := c.SendMessage(target, payload); err != nil {
+					return
+				}
+				if _, err := c.ReadMessage(2 * time.Second); err != nil {
+					continue // response lost/slow: try again
+				}
+				completed.Add(1)
+			}
+		}(i, senders[i])
+	}
+
+	time.Sleep(warmup)
+	base := completed.Load()
+	time.Sleep(measure)
+	delta := completed.Load() - base
+	close(stop)
+	wg.Wait()
+	return float64(delta) / measure.Seconds(), nil
+}
+
+// Fig14Config parameterises the O2O scalability sweep.
+type Fig14Config struct {
+	Clients     []int
+	Deployments []string
+	Warmup      time.Duration
+	Measure     time.Duration
+}
+
+// DefaultFig14 is the paper-scale sweep (the paper measures 1 minute
+// per point; the default here uses shorter steady-state windows).
+func DefaultFig14() Fig14Config {
+	return Fig14Config{
+		Clients:     []int{100, 200, 400, 600, 800, 1000},
+		Deployments: []string{"EJB", "JBD2", "EA/3", "EA/6", "EA/48"},
+		Warmup:      time.Second,
+		Measure:     5 * time.Second,
+	}
+}
+
+// Fig14Scalability measures throughput against concurrent client count
+// for the five deployments.
+func Fig14Scalability(cfg Fig14Config) ([]Row, error) {
+	var rows []Row
+	for _, name := range cfg.Deployments {
+		for _, clients := range cfg.Clients {
+			dep, err := startDeployment(name, true, 0, false)
+			if err != nil {
+				return nil, err
+			}
+			thr, err := runO2OWorkload(dep.addr, clients, cfg.Warmup, cfg.Measure)
+			dep.stop()
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig14 %s clients=%d: %w", name, clients, err)
+			}
+			rows = append(rows, Row{
+				Figure: "fig14", Series: name,
+				XLabel: "clients", X: float64(clients),
+				Value: thr, Unit: "req/s",
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig15Config parameterises the group-chat comparison.
+type Fig15Config struct {
+	Participants []int
+	Warmup       time.Duration
+	Measure      time.Duration
+}
+
+// DefaultFig15 is the paper-scale sweep.
+func DefaultFig15() Fig15Config {
+	return Fig15Config{
+		Participants: []int{20, 40, 60, 80, 100},
+		Warmup:       500 * time.Millisecond,
+		Measure:      4 * time.Second,
+	}
+}
+
+// Fig15GroupChat compares EJB, SSL-enabled JBD2, EA/trusted and
+// EA/untrusted on a single group chat of growing size.
+func Fig15GroupChat(cfg Fig15Config) ([]Row, error) {
+	type variant struct {
+		series string
+		start  func() (*xmppDeployment, error)
+	}
+	variants := []variant{
+		{"EJB", func() (*xmppDeployment, error) { return startDeployment("EJB", false, 0, false) }},
+		{"JBD2", func() (*xmppDeployment, error) { return startDeployment("JBD2", false, 0, true) }},
+		{"EA/trusted", func() (*xmppDeployment, error) { return startDeployment("EA/3", true, 1, false) }},
+		{"EA/untrusted", func() (*xmppDeployment, error) { return startDeployment("EA/3", false, 0, false) }},
+		// EA/dedicated is an ablation beyond the paper's figure: the
+		// group chat confined to its own enclave (the Section 2.1
+		// security configuration), measuring what the extra forward hop
+		// and enclave cost.
+		{"EA/dedicated", func() (*xmppDeployment, error) {
+			srv, err := xmpp.Start(xmpp.Options{
+				Shards:         1,
+				Trusted:        true,
+				EnclaveCount:   1,
+				DedicatedRooms: []string{"bench-room"},
+				Platform:       sgx.NewPlatform(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &xmppDeployment{name: "EA/dedicated", addr: srv.Addr(), stop: srv.Stop}, nil
+		}},
+	}
+	var rows []Row
+	for _, v := range variants {
+		for _, participants := range cfg.Participants {
+			dep, err := v.start()
+			if err != nil {
+				return nil, err
+			}
+			thr, err := runGroupWorkload(dep.addr, participants, cfg.Warmup, cfg.Measure)
+			dep.stop()
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig15 %s n=%d: %w", v.series, participants, err)
+			}
+			rows = append(rows, Row{
+				Figure: "fig15", Series: v.series,
+				XLabel: "participants", X: float64(participants),
+				Value: thr, Unit: "req/s",
+			})
+		}
+	}
+	return rows, nil
+}
+
+// runGroupWorkload joins `participants` clients to one room; one sender
+// emits a new group message as soon as a designated member observed the
+// previous one (the paper's self-clocked O2M loop). Returns group
+// messages/second.
+func runGroupWorkload(addr string, participants int, warmup, measure time.Duration) (float64, error) {
+	if participants < 2 {
+		participants = 2
+	}
+	const room = "bench-room"
+	members := make([]*client.Client, participants)
+	defer func() {
+		for _, c := range members {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	for i := range members {
+		c, err := client.Dial(addr, fmt.Sprintf("member-%d", i), 30*time.Second)
+		if err != nil {
+			return 0, fmt.Errorf("bench: dial member %d: %w", i, err)
+		}
+		if err := c.JoinRoom(room); err != nil {
+			return 0, err
+		}
+		members[i] = c
+	}
+	// Joins are fire-and-forget; give the service a moment to register
+	// the room before clocking it.
+	time.Sleep(300 * time.Millisecond)
+
+	sender := members[0]
+	monitor := members[1]
+	drainers := members[2:]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Every member's receptions count: a group request is complete when
+	// all N-1 copies are delivered, so throughput = deliveries/(N-1).
+	// Averaging over all members (rather than clocking one of them)
+	// keeps the measurement independent of fan-out ordering.
+	var delivered atomic.Uint64
+	for _, c := range drainers {
+		wg.Add(1)
+		go func(c *client.Client) {
+			defer wg.Done()
+			for {
+				if _, err := c.ReadMessage(500 * time.Millisecond); err != nil {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				} else {
+					delivered.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		payload := string(randomPayload(messagePayloadBytes))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := sender.SendGroupMessage(room, payload); err != nil {
+				return
+			}
+			// Self-clocking: the next message goes out once one member
+			// observed the previous one (the paper's O2M loop).
+			if _, err := monitor.ReadMessage(5 * time.Second); err != nil {
+				continue
+			}
+			delivered.Add(1)
+		}
+	}()
+
+	time.Sleep(warmup)
+	base := delivered.Load()
+	time.Sleep(measure)
+	delta := delivered.Load() - base
+	close(stop)
+	wg.Wait()
+	return float64(delta) / float64(participants-1) / measure.Seconds(), nil
+}
+
+// Fig16Config parameterises the enclave-count sweep: 16 shards (48
+// eactors) in 1, 2 or 16 enclaves, 400 clients.
+type Fig16Config struct {
+	Enclaves []int
+	Clients  int
+	Warmup   time.Duration
+	Measure  time.Duration
+}
+
+// DefaultFig16 is the paper-scale configuration.
+func DefaultFig16() Fig16Config {
+	return Fig16Config{
+		Enclaves: []int{1, 2, 16},
+		Clients:  400,
+		Warmup:   time.Second,
+		Measure:  5 * time.Second,
+	}
+}
+
+// Fig16EnclaveCount measures the throughput impact of spreading a fixed
+// 48-eactor deployment over a varying number of enclaves.
+func Fig16EnclaveCount(cfg Fig16Config) ([]Row, error) {
+	var rows []Row
+	for _, enclaves := range cfg.Enclaves {
+		dep, err := startDeployment("EA/48", true, enclaves, false)
+		if err != nil {
+			return nil, err
+		}
+		thr, err := runO2OWorkload(dep.addr, cfg.Clients, cfg.Warmup, cfg.Measure)
+		dep.stop()
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig16 enclaves=%d: %w", enclaves, err)
+		}
+		rows = append(rows, Row{
+			Figure: "fig16", Series: "EA/48",
+			XLabel: "enclaves", X: float64(enclaves),
+			Value: thr, Unit: "req/s",
+		})
+	}
+	return rows, nil
+}
+
+// Fig17Config parameterises the trusted-vs-untrusted overhead check.
+type Fig17Config struct {
+	Deployments []string
+	Clients     int
+	Warmup      time.Duration
+	Measure     time.Duration
+}
+
+// DefaultFig17 is the paper-scale configuration.
+func DefaultFig17() Fig17Config {
+	return Fig17Config{
+		Deployments: []string{"EA/3", "EA/6", "EA/48"},
+		Clients:     400,
+		Warmup:      time.Second,
+		Measure:     5 * time.Second,
+	}
+}
+
+// Fig17TrustedOverhead measures each deployment in trusted and
+// untrusted mode.
+func Fig17TrustedOverhead(cfg Fig17Config) ([]Row, error) {
+	var rows []Row
+	for _, name := range cfg.Deployments {
+		for _, trusted := range []bool{true, false} {
+			dep, err := startDeployment(name, trusted, 0, false)
+			if err != nil {
+				return nil, err
+			}
+			thr, err := runO2OWorkload(dep.addr, cfg.Clients, cfg.Warmup, cfg.Measure)
+			dep.stop()
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig17 %s trusted=%v: %w", name, trusted, err)
+			}
+			mode := "untrusted"
+			x := 0.0
+			if trusted {
+				mode = "trusted"
+				x = 1.0
+			}
+			rows = append(rows, Row{
+				Figure: "fig17", Series: name + "/" + mode,
+				XLabel: "trusted", X: x,
+				Value: thr, Unit: "req/s",
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,139 @@
+// Package core implements the EActors programming model and runtime
+// (Sections 3.1-3.3 of the paper): eactors with body and constructor
+// functions, workers that execute them round-robin, and uniform
+// communication channels that transparently encrypt messages when the
+// two endpoints live in different enclaves.
+//
+// The defining property, inherited from the paper, is that an eactor's
+// code never references its placement: the Config (the paper's
+// configuration file) decides which enclave — if any — hosts each eactor
+// and which worker thread runs it, so trusted execution is a deployment
+// decision rather than a code-structure decision.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/eactors/eactors-go/internal/mem"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// Body is an eactor body function: invoked repeatedly by the runtime, it
+// must poll its channels, do a bounded amount of work and return without
+// blocking (Listing 1 of the paper).
+type Body func(self *Self)
+
+// Init is an eactor constructor: it runs once at startup to connect
+// channels and initialise private state.
+type Init func(self *Self) error
+
+// Spec declares one eactor: its code (Body/Init) and its deployment
+// (Enclave, Worker). Code and deployment are deliberately independent.
+type Spec struct {
+	// Name identifies the eactor; must be unique within a Config.
+	Name string
+
+	// Enclave names the hosting enclave from Config.Enclaves, or "" to
+	// run untrusted.
+	Enclave string
+
+	// Worker is the index into Config.Workers of the executing worker.
+	Worker int
+
+	// Init is the optional constructor.
+	Init Init
+
+	// Body is the mandatory body function.
+	Body Body
+
+	// State is the eactor's initial private state, exposed as
+	// Self.State.
+	State any
+}
+
+// actorInstance binds a Spec to its resolved runtime resources.
+type actorInstance struct {
+	spec      Spec
+	enclave   *sgx.Enclave // nil when untrusted
+	self      *Self
+	worker    *Worker
+	endpoints map[string]*Endpoint
+
+	// failed parks the actor after a body panic (blast-radius
+	// containment); failure records the panic value.
+	failed  atomic.Bool
+	failure string
+}
+
+// Self is the handle passed to an eactor's Init and Body; it provides
+// access to the eactor's channels, private state and execution context.
+// A Self is owned by its worker thread and must not escape to other
+// goroutines.
+type Self struct {
+	inst       *actorInstance
+	rt         *Runtime
+	ctx        *sgx.Context
+	progressed bool
+	stopped    bool
+
+	// State is the eactor's private state (Spec.State).
+	State any
+}
+
+// Name returns the eactor's configured name.
+func (s *Self) Name() string { return s.inst.spec.Name }
+
+// Runtime returns the owning runtime.
+func (s *Self) Runtime() *Runtime { return s.rt }
+
+// Enclave returns the hosting enclave, or nil when running untrusted.
+func (s *Self) Enclave() *sgx.Enclave { return s.inst.enclave }
+
+// Context returns the worker's SGX execution context. Bodies use it for
+// ECalls/OCalls or SDK-mutex interaction when they must.
+func (s *Self) Context() *sgx.Context { return s.ctx }
+
+// Pool returns the runtime's shared node pool.
+func (s *Self) Pool() *mem.Pool { return s.rt.pool }
+
+// Channel returns the endpoint of the named channel that belongs to this
+// eactor. It corresponds to the connect() call of the paper's
+// constructor phase; endpoints are created by the runtime from the
+// Config and looked up by name.
+func (s *Self) Channel(name string) (*Endpoint, error) {
+	ep, ok := s.inst.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("core: actor %q has no endpoint on channel %q", s.Name(), name)
+	}
+	return ep, nil
+}
+
+// MustChannel is Channel for constructor use, where a missing channel is
+// a configuration bug.
+func (s *Self) MustChannel(name string) *Endpoint {
+	ep, err := s.Channel(name)
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}
+
+// Progress records that the body did useful work this invocation; the
+// worker uses it to back off when all its eactors are idle.
+func (s *Self) Progress() { s.progressed = true }
+
+// Waker returns a function that wakes this eactor's worker from its
+// idle sleep. It is safe to call from any goroutine; system eactors
+// hand it to their I/O pumps so inbound data is processed immediately
+// rather than on the next poll.
+func (s *Self) Waker() func() { return s.inst.worker.Wake }
+
+// StopRuntime requests an asynchronous shutdown of the whole runtime.
+// Bodies call it when the application's work is done.
+func (s *Self) StopRuntime() {
+	if !s.stopped {
+		s.stopped = true
+		s.rt.requestStop()
+	}
+}

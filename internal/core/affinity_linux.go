@@ -1,0 +1,35 @@
+//go:build linux
+
+package core
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// setAffinity pins the calling OS thread to the given CPU set, the Go
+// analogue of the paper's worker-to-CPU binding (Figure 2). Best effort:
+// failures are reported but non-fatal, since deployments on small or
+// containerised hosts may lack the CPUs or the permission.
+func setAffinity(cpus []int) error {
+	if len(cpus) == 0 {
+		return nil
+	}
+	var mask [16]uint64 // up to 1024 CPUs
+	for _, cpu := range cpus {
+		if cpu < 0 || cpu >= len(mask)*64 {
+			continue
+		}
+		mask[cpu/64] |= 1 << (uint(cpu) % 64)
+	}
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0, // current thread
+		uintptr(len(mask)*8),
+		uintptr(unsafe.Pointer(&mask[0])),
+	)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package core
+
+// setAffinity is a no-op on platforms without sched_setaffinity.
+func setAffinity(cpus []int) error { return nil }

@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+func TestSetAffinity(t *testing.T) {
+	// CPU 0 always exists; binding to it must succeed (or be a no-op on
+	// non-Linux platforms).
+	if err := setAffinity([]int{0}); err != nil {
+		t.Fatalf("setAffinity([0]): %v", err)
+	}
+	// Empty set is a no-op.
+	if err := setAffinity(nil); err != nil {
+		t.Fatalf("setAffinity(nil): %v", err)
+	}
+	// Out-of-range CPUs are skipped, leaving an empty mask only if no
+	// valid CPU remains — combine with CPU 0 so the call stays valid.
+	if err := setAffinity([]int{0, 1 << 20, -5}); err != nil {
+		t.Fatalf("setAffinity with junk entries: %v", err)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/mem"
+)
+
+// Channel-layer errors.
+var (
+	// ErrChannelFull reports a full mbox; the sender should retry on a
+	// later body invocation.
+	ErrChannelFull = errors.New("core: channel mbox full")
+
+	// ErrPoolExhausted reports that no free node was available.
+	ErrPoolExhausted = errors.New("core: node pool exhausted")
+
+	// ErrPayloadTooLarge reports a payload exceeding the node capacity
+	// (minus encryption overhead on encrypted channels).
+	ErrPayloadTooLarge = errors.New("core: payload exceeds node capacity")
+
+	// ErrShortBuffer reports a Recv buffer smaller than the message.
+	ErrShortBuffer = errors.New("core: receive buffer too small")
+
+	// ErrReplay reports a message whose sequence counter is not strictly
+	// monotonic: the paper's adversary controls the untrusted runtime
+	// and can replay or reorder nodes, so encrypted endpoints enforce
+	// the sender's counter ordering.
+	ErrReplay = errors.New("core: replayed or reordered encrypted message")
+)
+
+// Channel is a bidirectional link between two eactors, built from two
+// FIFO mboxes over the shared node pool. When its endpoints live in
+// different enclaves and the channel is not configured plaintext, both
+// directions are transparently AES-GCM-sealed with a key agreed through
+// simulated SGX local attestation — the paper's uniform communication
+// primitive (Section 3.3): eactor code is identical whether its peer is
+// co-located, in another enclave, or untrusted.
+type Channel struct {
+	name      string
+	a, b      string // endpoint actor names
+	encrypted bool
+	ab, ba    *mem.Mbox
+	epA, epB  *Endpoint
+}
+
+// ChannelStats aggregates a channel's traffic counters.
+type ChannelStats struct {
+	// AToB / BToA count delivered messages per direction.
+	AToB, BToA uint64
+	// SendFailures counts sends rejected by a full mbox or empty pool
+	// (both directions).
+	SendFailures uint64
+	// Pending counts currently queued messages (both directions).
+	Pending int
+}
+
+// Stats returns a snapshot of the channel's counters.
+func (c *Channel) Stats() ChannelStats {
+	return ChannelStats{
+		AToB:         c.epA.sent.Load(),
+		BToA:         c.epB.sent.Load(),
+		SendFailures: c.epA.sendFailures.Load() + c.epB.sendFailures.Load(),
+		Pending:      c.ab.Len() + c.ba.Len(),
+	}
+}
+
+// Name returns the configured channel name.
+func (c *Channel) Name() string { return c.name }
+
+// Encrypted reports whether payloads are sealed in transit.
+func (c *Channel) Encrypted() bool { return c.encrypted }
+
+// Endpoint is one eactor's end of a channel. Endpoints are owned by
+// their eactor and must only be used from its body/constructor.
+type Endpoint struct {
+	ch       *Channel
+	out, in  *mem.Mbox
+	pool     *mem.Pool
+	cipher   *ecrypto.Cipher // nil on plaintext channels
+	scratch  []byte          // staging buffer for in-place crypto
+	peerWake func()          // rings the consumer worker's doorbell
+
+	sent         atomic.Uint64
+	received     atomic.Uint64
+	sendFailures atomic.Uint64
+
+	// lastSeq is the highest sender counter accepted on this (encrypted)
+	// endpoint; non-monotonic counters are rejected as replays.
+	lastSeq uint64
+}
+
+// Sent returns the number of messages this endpoint enqueued.
+func (e *Endpoint) Sent() uint64 { return e.sent.Load() }
+
+// Received returns the number of messages this endpoint dequeued.
+func (e *Endpoint) Received() uint64 { return e.received.Load() }
+
+// SendFailures returns how many sends hit a full mbox or empty pool.
+func (e *Endpoint) SendFailures() uint64 { return e.sendFailures.Load() }
+
+// Channel returns the owning channel.
+func (e *Endpoint) Channel() *Channel { return e.ch }
+
+// MaxPayload returns the largest payload Send accepts.
+func (e *Endpoint) MaxPayload() int {
+	capacity := e.pool.Arena().PayloadSize()
+	if e.cipher != nil {
+		capacity -= ecrypto.Overhead
+	}
+	return capacity
+}
+
+// Send transmits a copy of payload to the peer eactor: it takes a node
+// from the pool, fills (and on encrypted channels seals) the payload,
+// and enqueues it — the paper's send path (Figure 3).
+func (e *Endpoint) Send(payload []byte) error {
+	if len(payload) > e.MaxPayload() {
+		return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), e.MaxPayload())
+	}
+	node := e.pool.Get()
+	if node == nil {
+		e.sendFailures.Add(1)
+		return ErrPoolExhausted
+	}
+	if e.cipher != nil {
+		blob := e.cipher.Seal(node.Buf()[:0], payload, nil)
+		if err := node.SetLen(len(blob)); err != nil {
+			_ = e.pool.Put(node)
+			return err
+		}
+	} else if err := node.SetPayload(payload); err != nil {
+		_ = e.pool.Put(node)
+		return err
+	}
+	if !e.out.Enqueue(node) {
+		_ = e.pool.Put(node)
+		e.sendFailures.Add(1)
+		return ErrChannelFull
+	}
+	e.sent.Add(1)
+	if e.peerWake != nil {
+		e.peerWake()
+	}
+	return nil
+}
+
+// SendNode transmits a node previously obtained from the pool without
+// copying the payload. On encrypted channels the payload is sealed in
+// place (one staging copy). Ownership of the node transfers on success;
+// on error the caller still owns it.
+func (e *Endpoint) SendNode(node *mem.Node) error {
+	if node == nil {
+		return errors.New("core: SendNode(nil)")
+	}
+	if e.cipher != nil {
+		if node.Len() > e.MaxPayload() {
+			return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, node.Len(), e.MaxPayload())
+		}
+		e.scratch = append(e.scratch[:0], node.Payload()...)
+		blob := e.cipher.Seal(node.Buf()[:0], e.scratch, nil)
+		if err := node.SetLen(len(blob)); err != nil {
+			return err
+		}
+	}
+	if !e.out.Enqueue(node) {
+		e.sendFailures.Add(1)
+		return ErrChannelFull
+	}
+	e.sent.Add(1)
+	if e.peerWake != nil {
+		e.peerWake()
+	}
+	return nil
+}
+
+// Recv polls for a message and copies it into buf, returning its length.
+// ok is false when no message is pending. On encrypted channels the
+// payload is authenticated and decrypted before the copy.
+func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
+	node, ok := e.in.Dequeue()
+	if !ok {
+		return 0, false, nil
+	}
+	e.received.Add(1)
+	defer func() {
+		if putErr := e.pool.Put(node); putErr != nil && err == nil {
+			err = putErr
+		}
+	}()
+	payload := node.Payload()
+	if e.cipher != nil {
+		plain, openErr := e.cipher.Open(e.scratch[:0], payload, nil)
+		if openErr != nil {
+			return 0, true, openErr
+		}
+		if seqErr := e.checkSeq(payload); seqErr != nil {
+			return 0, true, seqErr
+		}
+		e.scratch = plain
+		payload = plain
+	}
+	if len(payload) > len(buf) {
+		return 0, true, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, len(payload), len(buf))
+	}
+	return copy(buf, payload), true, nil
+}
+
+// RecvNode polls for a message and returns the node itself (decrypted in
+// place on encrypted channels). The caller owns the node and must return
+// it with Release (or forward it with SendNode on a plaintext channel).
+func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
+	node, ok := e.in.Dequeue()
+	if !ok {
+		return nil, false, nil
+	}
+	e.received.Add(1)
+	if e.cipher != nil {
+		plain, err := e.cipher.Open(e.scratch[:0], node.Payload(), nil)
+		if err != nil {
+			_ = e.pool.Put(node)
+			return nil, true, err
+		}
+		if seqErr := e.checkSeq(node.Payload()); seqErr != nil {
+			_ = e.pool.Put(node)
+			return nil, true, seqErr
+		}
+		e.scratch = plain
+		copy(node.Buf(), plain)
+		if err := node.SetLen(len(plain)); err != nil {
+			_ = e.pool.Put(node)
+			return nil, true, err
+		}
+	}
+	return node, true, nil
+}
+
+// checkSeq enforces strictly increasing sender counters on an
+// authenticated blob (the counter is the tail of the explicit nonce).
+func (e *Endpoint) checkSeq(blob []byte) error {
+	seq := ecrypto.BlobCounter(blob)
+	if seq <= e.lastSeq {
+		return fmt.Errorf("%w: counter %d after %d", ErrReplay, seq, e.lastSeq)
+	}
+	e.lastSeq = seq
+	return nil
+}
+
+// Release returns a received node to the pool.
+func (e *Endpoint) Release(node *mem.Node) {
+	if node != nil {
+		_ = e.pool.Put(node)
+	}
+}
+
+// Pending returns the approximate number of queued inbound messages.
+func (e *Endpoint) Pending() int { return e.in.Len() }

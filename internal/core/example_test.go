@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// Example deploys a two-eactor pipeline across two enclaves and shows
+// that their cross-enclave channel encrypts transparently while the
+// workers never transition after startup.
+func Example() {
+	platform := sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel()))
+
+	received := make(chan string, 1)
+	cfg := core.Config{
+		Enclaves: []core.EnclaveSpec{{Name: "left"}, {Name: "right"}},
+		Workers:  []core.WorkerSpec{{}, {}},
+		Channels: []core.ChannelSpec{{Name: "pipe", A: "sender", B: "receiver"}},
+		Actors: []core.Spec{
+			{
+				Name: "sender", Enclave: "left", Worker: 0,
+				State: new(bool),
+				Body: func(self *core.Self) {
+					sent := self.State.(*bool)
+					if *sent {
+						return
+					}
+					if self.MustChannel("pipe").Send([]byte("hello enclave")) == nil {
+						*sent = true
+						self.Progress()
+					}
+				},
+			},
+			{
+				Name: "receiver", Enclave: "right", Worker: 1,
+				Body: func(self *core.Self) {
+					buf := make([]byte, 64)
+					n, ok, err := self.MustChannel("pipe").Recv(buf)
+					if err != nil || !ok {
+						return
+					}
+					received <- string(buf[:n])
+					self.StopRuntime()
+				},
+			},
+		},
+	}
+
+	rt, err := core.NewRuntime(platform, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := rt.Start(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rt.Wait()
+	rt.Stop()
+
+	ch, _ := rt.ChannelByName("pipe")
+	fmt.Println("message:", <-received)
+	fmt.Println("encrypted in transit:", ch.Encrypted())
+	// Output:
+	// message: hello enclave
+	// encrypted in transit: true
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPanicIsolation is the compartmentalisation property (Section 2.3
+// of the paper): a crashing eactor is parked; eactors on the same and
+// other workers keep running.
+func TestPanicIsolation(t *testing.T) {
+	var siblingRuns, neighbourRuns atomic.Int64
+	var crashes atomic.Int64
+	cfg := Config{
+		Workers: []WorkerSpec{{}, {}},
+		Actors: []Spec{
+			{
+				Name: "crashy", Worker: 0,
+				Body: func(self *Self) {
+					crashes.Add(1)
+					panic("injected bug")
+				},
+			},
+			{
+				Name: "sibling", Worker: 0,
+				Body: func(self *Self) {
+					siblingRuns.Add(1)
+					self.Progress() // keep the worker hot for the test
+				},
+			},
+			{
+				Name: "neighbour", Worker: 1,
+				Body: func(self *Self) {
+					neighbourRuns.Add(1)
+					self.Progress()
+				},
+			},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// The sibling shares crashy's worker: its progress past the crash
+	// proves the panic was contained on that worker; the neighbour
+	// proves other workers were untouched.
+	deadline := time.Now().Add(10 * time.Second)
+	for siblingRuns.Load() < 1000 || neighbourRuns.Load() < 100 {
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy actors starved: sibling=%d neighbour=%d",
+				siblingRuns.Load(), neighbourRuns.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if got := crashes.Load(); got != 1 {
+		t.Fatalf("crashy body ran %d times, want exactly 1 (must be parked)", got)
+	}
+	failed := rt.FailedActors()
+	if len(failed) != 1 || failed[0] != "crashy" {
+		t.Fatalf("FailedActors = %v", failed)
+	}
+	msg, ok := rt.ActorFailure("crashy")
+	if !ok || msg != "injected bug" {
+		t.Fatalf("ActorFailure = %q, %v", msg, ok)
+	}
+	if _, ok := rt.ActorFailure("sibling"); ok {
+		t.Fatal("healthy actor reported as failed")
+	}
+	if _, ok := rt.ActorFailure("nobody"); ok {
+		t.Fatal("unknown actor reported as failed")
+	}
+}
+
+// TestPanicInEnclavedActor checks containment across trust domains: a
+// compromised enclave's actor dies, its enclave-sharing peer survives.
+func TestPanicInEnclavedActor(t *testing.T) {
+	var survivorRuns atomic.Int64
+	first := true
+	cfg := Config{
+		Enclaves: []EnclaveSpec{{Name: "shared"}},
+		Workers:  []WorkerSpec{{}},
+		Actors: []Spec{
+			{
+				Name: "victim", Enclave: "shared", Worker: 0,
+				Body: func(self *Self) {
+					if first {
+						first = false
+						panic("exploit")
+					}
+				},
+			},
+			{
+				Name: "survivor", Enclave: "shared", Worker: 0,
+				Body: func(self *Self) {
+					survivorRuns.Add(1)
+					self.Progress()
+				},
+			},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for survivorRuns.Load() < 100 {
+		if time.Now().After(deadline) {
+			t.Fatal("survivor starved after co-located panic")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// Report is a point-in-time introspection snapshot of a runtime:
+// deployment shape, traffic and simulator counters, and failures. It is
+// what an operator dashboard (or the xmppserver stats loop) renders.
+type Report struct {
+	// Workers describes each worker and its eactors.
+	Workers []WorkerReport
+	// Channels carries per-channel traffic counters.
+	Channels []ChannelReport
+	// Enclaves lists enclave EPC footprints.
+	Enclaves []EnclaveReport
+	// FailedActors lists eactors parked after a body panic.
+	FailedActors []string
+	// PublicPoolFree is the free-node count of the shared pool.
+	PublicPoolFree int
+	// Platform is the SGX simulator counter snapshot.
+	Platform sgx.Stats
+}
+
+// WorkerReport describes one worker.
+type WorkerReport struct {
+	ID        int
+	Actors    []string
+	Crossings uint64
+}
+
+// ChannelReport describes one channel's traffic.
+type ChannelReport struct {
+	Name      string
+	A, B      string
+	Encrypted bool
+	Stats     ChannelStats
+}
+
+// EnclaveReport describes one enclave's footprint.
+type EnclaveReport struct {
+	Name          string
+	PagesResident int64
+	// PrivatePoolFree is -1 when the enclave has no private pool.
+	PrivatePoolFree int
+}
+
+// Report builds an introspection snapshot. Counter reads are atomic but
+// the snapshot as a whole is not; it is meant for monitoring, not
+// coordination.
+func (rt *Runtime) Report() Report {
+	r := Report{
+		FailedActors:   rt.FailedActors(),
+		PublicPoolFree: rt.pool.Free(),
+		Platform:       rt.platform.Snapshot(),
+	}
+	for _, w := range rt.workers {
+		r.Workers = append(r.Workers, WorkerReport{
+			ID:        w.ID(),
+			Actors:    w.Actors(),
+			Crossings: w.Context().Crossings(),
+		})
+	}
+	for name, ch := range rt.channels {
+		r.Channels = append(r.Channels, ChannelReport{
+			Name: name, A: ch.a, B: ch.b,
+			Encrypted: ch.encrypted,
+			Stats:     ch.Stats(),
+		})
+	}
+	sort.Slice(r.Channels, func(i, j int) bool { return r.Channels[i].Name < r.Channels[j].Name })
+	for name, e := range rt.enclaves {
+		er := EnclaveReport{
+			Name:            name,
+			PagesResident:   e.PagesResident(),
+			PrivatePoolFree: -1,
+		}
+		if p, ok := rt.privatePools[name]; ok {
+			er.PrivatePoolFree = p.Free()
+		}
+		r.Enclaves = append(r.Enclaves, er)
+	}
+	sort.Slice(r.Enclaves, func(i, j int) bool { return r.Enclaves[i].Name < r.Enclaves[j].Name })
+	return r
+}

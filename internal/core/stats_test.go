@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChannelStats(t *testing.T) {
+	a, b, rt := buildPair(t, false, 4, 16, 64)
+	ch, ok := rt.ChannelByName("link")
+	if !ok {
+		t.Fatal("channel missing")
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Send([]byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	st := ch.Stats()
+	if st.AToB != 3 || st.BToA != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Pending != 4 {
+		t.Fatalf("Pending = %d", st.Pending)
+	}
+
+	buf := make([]byte, 64)
+	if _, ok, err := b.Recv(buf); !ok || err != nil {
+		t.Fatal("recv failed")
+	}
+	if a.Sent() != 3 || b.Received() != 1 {
+		t.Fatalf("endpoint counters: sent=%d received=%d", a.Sent(), b.Received())
+	}
+}
+
+func TestSendFailureCounters(t *testing.T) {
+	a, _, _ := buildPair(t, false, 2, 16, 64)
+	_ = a.Send([]byte("1"))
+	_ = a.Send([]byte("2"))
+	if err := a.Send([]byte("3")); !errors.Is(err, ErrChannelFull) {
+		t.Fatalf("err = %v", err)
+	}
+	if a.SendFailures() != 1 {
+		t.Fatalf("SendFailures = %d", a.SendFailures())
+	}
+
+	// Pool exhaustion also counts.
+	a2, _, _ := buildPair(t, false, 8, 2, 64)
+	_ = a2.Send([]byte("1"))
+	_ = a2.Send([]byte("2"))
+	if err := a2.Send([]byte("3")); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if a2.SendFailures() != 1 {
+		t.Fatalf("SendFailures = %d", a2.SendFailures())
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	cfg := Config{
+		PoolNodes:   100,
+		NodePayload: 256,
+		Enclaves: []EnclaveSpec{
+			{Name: "a", PrivatePoolNodes: 10},
+			{Name: "b"},
+		},
+		Channels: []ChannelSpec{
+			{Name: "c1", A: "x", B: "y", Capacity: 64},
+			{Name: "c2", A: "x", B: "y"}, // default capacity
+		},
+	}
+	public, private, mboxes := cfg.MemoryFootprint()
+	if public != 100*256 {
+		t.Fatalf("public = %d", public)
+	}
+	if private != 10*256 {
+		t.Fatalf("private = %d", private)
+	}
+	want := 2*64*16 + 2*DefaultMboxCapacity*16
+	if mboxes != want {
+		t.Fatalf("mboxes = %d, want %d", mboxes, want)
+	}
+
+	// Defaults applied when zero.
+	empty := Config{}
+	public, _, _ = empty.MemoryFootprint()
+	if public != DefaultPoolNodes*DefaultNodePayload {
+		t.Fatalf("default public = %d", public)
+	}
+}

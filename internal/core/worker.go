@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// Worker executes a set of eactors round-robin on a dedicated OS thread
+// (the paper's worker abstraction, Section 3.2). Before each body
+// invocation the worker moves its SGX context to the eactor's enclave;
+// when consecutive eactors share an enclave the move is free, so a
+// worker whose eactors are confined to one enclave never pays a
+// transition — the property the paper's deployments exploit.
+type Worker struct {
+	id        int
+	rt        *Runtime
+	ctx       *sgx.Context
+	actors    []*actorInstance
+	cpus      []int
+	idleSleep time.Duration
+
+	// doorbell wakes the worker from its idle sleep the moment one of
+	// its eactors gets work: channel sends ring the consumer's bell, and
+	// system eactors hand their Waker to I/O pumps. Without it, an idle
+	// worker's sleep is at the mercy of the scheduler's poll granularity
+	// (~1ms), which would put a millisecond on every message hop.
+	doorbell chan struct{}
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Wake unblocks the worker if it is in its idle sleep; it is safe to
+// call from any goroutine and never blocks.
+func (w *Worker) Wake() {
+	select {
+	case w.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// ID returns the worker's index in the runtime configuration.
+func (w *Worker) ID() int { return w.id }
+
+// Context returns the worker's SGX execution context.
+func (w *Worker) Context() *sgx.Context { return w.ctx }
+
+// Actors returns the names of the eactors assigned to this worker.
+func (w *Worker) Actors() []string {
+	names := make([]string, len(w.actors))
+	for i, a := range w.actors {
+		names[i] = a.spec.Name
+	}
+	return names
+}
+
+// invoke runs one body, converting a panic into a parked actor: the
+// paper's compartmentalisation argument (Section 2.3) is that a bug in
+// one eactor/enclave must not take the rest of the application down, so
+// the worker contains the blast radius and keeps scheduling its other
+// eactors.
+func (w *Worker) invoke(a *actorInstance) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.failed.Store(true)
+			a.failure = fmt.Sprintf("%v", r)
+			w.rt.actorFailed(a.spec.Name)
+		}
+	}()
+	a.spec.Body(a.self)
+}
+
+// idleWait parks the worker until its doorbell rings, the idle-sleep
+// timeout elapses, or shutdown is requested.
+func (w *Worker) idleWait(timer *time.Timer) {
+	// Clear a stale ring so the bell reflects "work arrived after the
+	// last full round".
+	select {
+	case <-w.doorbell:
+		return
+	default:
+	}
+	timer.Reset(w.idleSleep)
+	select {
+	case <-w.doorbell:
+	case <-timer.C:
+		return
+	case <-w.stop:
+	}
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+}
+
+func (w *Worker) run() {
+	defer close(w.done)
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	if len(w.cpus) > 0 {
+		_ = setAffinity(w.cpus) // best effort; Linux only
+	}
+
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	idleRounds := 0
+	for {
+		select {
+		case <-w.stop:
+			w.ctx.Exit()
+			return
+		default:
+		}
+
+		progressed := false
+		for _, a := range w.actors {
+			if a.failed.Load() {
+				continue
+			}
+			if a.enclave != nil {
+				if err := w.ctx.Enter(a.enclave); err != nil {
+					// Configuration was validated at startup; an enter
+					// failure means the enclave was destroyed underneath
+					// us, so park this actor.
+					continue
+				}
+			} else {
+				w.ctx.Exit()
+			}
+			a.self.progressed = false
+			w.invoke(a)
+			if a.self.progressed {
+				progressed = true
+			}
+		}
+
+		// Back off when a full round made no progress: first yield, then
+		// sleep. The sleep matters twice over on few-core hosts: idle
+		// workers must not starve busy ones, and — critically — the Go
+		// scheduler only polls the network eagerly when a P goes idle,
+		// so spinning workers would delay socket readiness delivery to
+		// the netactors pumps by milliseconds.
+		if progressed {
+			idleRounds = 0
+			continue
+		}
+		idleRounds++
+		switch {
+		case idleRounds < 4:
+			// immediate retry
+		case idleRounds < 32:
+			runtime.Gosched()
+		default:
+			w.idleWait(timer)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package ecrypto
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCipherSeal measures the transparent channel-encryption cost
+// (the EA-ENC overhead of Figure 11).
+func BenchmarkCipherSeal(b *testing.B) {
+	c, err := NewCipher([KeySize]byte{1}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 4096, 65536} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			plaintext := make([]byte, size)
+			dst := make([]byte, 0, SealedLen(size))
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = c.Seal(dst[:0], plaintext, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkCipherSealOpen(b *testing.B) {
+	c, err := NewCipher([KeySize]byte{2}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plaintext := make([]byte, 150) // the messaging payload size
+	var blob, out []byte
+	b.SetBytes(150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob = c.Seal(blob[:0], plaintext, nil)
+		var err error
+		out, err = c.Open(out[:0], blob, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeterministicSeal(b *testing.B) {
+	d, err := NewDeterministic([KeySize]byte{3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("user:benchmark-client")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Seal(key)
+	}
+}
+
+func BenchmarkDeriveKey(b *testing.B) {
+	parent := [KeySize]byte{4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DeriveKey(parent, "bench-label")
+	}
+}

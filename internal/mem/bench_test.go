@@ -1,0 +1,152 @@
+package mem
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	a, err := NewArena(64, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPool(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := p.Get()
+		if n == nil {
+			b.Fatal("pool empty")
+		}
+		if err := p.Put(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolContended(b *testing.B) {
+	a, err := NewArena(256, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPool(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := p.Get()
+			if n == nil {
+				runtime.Gosched()
+				continue
+			}
+			_ = p.Put(n)
+		}
+	})
+}
+
+func BenchmarkMboxEnqueueDequeue(b *testing.B) {
+	a, err := NewArena(1, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, _ := a.Node(0)
+	m, err := NewMbox(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Enqueue(node) {
+			b.Fatal("full")
+		}
+		if _, ok := m.Dequeue(); !ok {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkMboxPingPong measures the cross-goroutine hop cost through a
+// pair of mboxes — the EActors message-path primitive.
+func BenchmarkMboxPingPong(b *testing.B) {
+	a, err := NewArena(2, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPool(a)
+	fwd, _ := NewMbox(4)
+	bwd, _ := NewMbox(4)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for served := 0; served < b.N; {
+			n, ok := fwd.Dequeue()
+			if !ok {
+				runtime.Gosched() // single-core: let the producer run
+				continue
+			}
+			for !bwd.Enqueue(n) {
+				runtime.Gosched()
+			}
+			served++
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := p.Get()
+		for !fwd.Enqueue(n) {
+			runtime.Gosched()
+		}
+		for {
+			back, ok := bwd.Dequeue()
+			if ok {
+				_ = p.Put(back)
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkAblationMboxCapacity shows the throughput effect of the ring
+// size under a produce/consume burst pattern.
+func BenchmarkAblationMboxCapacity(b *testing.B) {
+	a, err := NewArena(4096, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, capacity := range []int{4, 64, 1024} {
+		b.Run(map[int]string{4: "cap=4", 64: "cap=64", 1024: "cap=1024"}[capacity], func(b *testing.B) {
+			p := NewPool(a)
+			m, err := NewMbox(capacity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			burst := capacity
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < burst; j++ {
+					n := p.Get()
+					if n == nil || !m.Enqueue(n) {
+						if n != nil {
+							_ = p.Put(n)
+						}
+						break
+					}
+				}
+				for {
+					n, ok := m.Dequeue()
+					if !ok {
+						break
+					}
+					_ = p.Put(n)
+				}
+			}
+		})
+	}
+}

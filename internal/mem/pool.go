@@ -1,0 +1,86 @@
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool is a lock-free LIFO stack of free nodes (the paper's pool
+// abstraction, Section 3.3). It is multi-producer/multi-consumer and
+// ABA-safe: the head word packs a 32-bit version tag with the top node's
+// index, so a CAS cannot succeed across an interleaved pop/push cycle
+// that reuses the same node.
+type Pool struct {
+	arena *Arena
+	// head packs {tag:32, index+1:32}; index 0 means empty.
+	head  atomic.Uint64
+	count atomic.Int64
+}
+
+// NewPool builds a pool over the whole arena, with every node initially
+// free.
+func NewPool(arena *Arena) *Pool {
+	p := &Pool{arena: arena}
+	for i := len(arena.nodes) - 1; i >= 0; i-- {
+		p.push(&arena.nodes[i])
+	}
+	return p
+}
+
+// NewEmptyPool builds a pool over the arena with no free nodes; used when
+// a region of the arena is partitioned among several pools.
+func NewEmptyPool(arena *Arena) *Pool {
+	return &Pool{arena: arena}
+}
+
+// Arena returns the backing arena.
+func (p *Pool) Arena() *Arena { return p.arena }
+
+// Get pops a free node, or returns nil when the pool is exhausted.
+func (p *Pool) Get() *Node {
+	for {
+		head := p.head.Load()
+		idx := uint32(head)
+		if idx == 0 {
+			return nil
+		}
+		node := &p.arena.nodes[idx-1]
+		next := node.next.Load()
+		tag := uint32(head>>32) + 1
+		if p.head.CompareAndSwap(head, uint64(tag)<<32|uint64(next)) {
+			p.count.Add(-1)
+			node.size = 0
+			return node
+		}
+	}
+}
+
+// Put returns a node to the pool. The caller must own the node and must
+// not touch it afterwards.
+func (p *Pool) Put(node *Node) error {
+	if node == nil {
+		return fmt.Errorf("mem: Put(nil)")
+	}
+	if int(node.index) >= len(p.arena.nodes) || &p.arena.nodes[node.index] != node {
+		return fmt.Errorf("mem: Put of node %d from a different arena", node.index)
+	}
+	p.push(node)
+	return nil
+}
+
+func (p *Pool) push(node *Node) {
+	encoded := uint64(node.index) + 1
+	for {
+		head := p.head.Load()
+		node.next.Store(uint32(head))
+		tag := uint32(head>>32) + 1
+		if p.head.CompareAndSwap(head, uint64(tag)<<32|encoded) {
+			p.count.Add(1)
+			return
+		}
+	}
+}
+
+// Free returns the current number of free nodes (approximate under
+// concurrency).
+func (p *Pool) Free() int { return int(p.count.Load()) }

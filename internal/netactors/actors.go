@@ -1,0 +1,357 @@
+package netactors
+
+import (
+	"net"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/core"
+)
+
+// dialTimeout bounds OPENER dial attempts.
+const dialTimeout = 2 * time.Second
+
+// drainBatch bounds how many chunks a READER forwards per socket per
+// body invocation, keeping bodies short as the actor model demands.
+const drainBatch = 16
+
+// System owns the socket table and builds the five networking eactor
+// specs. All of them must be deployed untrusted (Worker placement is
+// free, Enclave must stay empty), since they perform system calls on
+// behalf of enclaved eactors.
+type System struct {
+	table *Table
+}
+
+// NewSystem creates a networking system with an empty socket table.
+func NewSystem() *System { return &System{table: NewTable()} }
+
+// Table exposes the socket table (for custom network actors, as the
+// paper's XMPP service builds).
+func (s *System) Table() *Table { return s.table }
+
+// Shutdown closes every socket; call after the runtime has stopped.
+func (s *System) Shutdown() { s.table.CloseAll() }
+
+// reply sends a message on ep, retrying is impossible in a non-blocking
+// body, so failures are reported to the caller.
+func reply(ep *core.Endpoint, m Msg, scratch *[]byte) bool {
+	buf, err := m.AppendTo((*scratch)[:0])
+	if err != nil {
+		return false
+	}
+	*scratch = buf
+	return ep.Send(buf) == nil
+}
+
+// OpenerSpec builds the OPENER eactor serving the named channels: it
+// creates server sockets (MsgListen) and client sockets (MsgDial) and
+// returns their identifiers (MsgOpenOK/MsgOpenErr).
+func (s *System) OpenerSpec(name string, worker int, channels ...string) core.Spec {
+	table := s.table
+	var eps []*core.Endpoint
+	var scratch []byte
+	recvBuf := make([]byte, core.DefaultNodePayload)
+	return core.Spec{
+		Name:   name,
+		Worker: worker,
+		Init: func(self *core.Self) error {
+			for _, ch := range channels {
+				ep, err := self.Channel(ch)
+				if err != nil {
+					return err
+				}
+				eps = append(eps, ep)
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			for _, ep := range eps {
+				n, ok, err := ep.Recv(recvBuf)
+				if err != nil || !ok {
+					continue
+				}
+				msg, err := ParseMsg(recvBuf[:n])
+				if err != nil {
+					continue
+				}
+				self.Progress()
+				switch msg.Type {
+				case MsgListen:
+					lis, err := net.Listen("tcp", string(msg.Data))
+					if err != nil {
+						reply(ep, Msg{Type: MsgOpenErr, Data: []byte(err.Error())}, &scratch)
+						continue
+					}
+					sock := table.AddListener(lis)
+					// Return the bound address so ":0" listens work.
+					reply(ep, Msg{Type: MsgOpenOK, Sock: sock.id, Data: []byte(lis.Addr().String())}, &scratch)
+				case MsgDial:
+					conn, err := net.DialTimeout("tcp", string(msg.Data), dialTimeout)
+					if err != nil {
+						reply(ep, Msg{Type: MsgOpenErr, Data: []byte(err.Error())}, &scratch)
+						continue
+					}
+					sock := table.AddConn(conn)
+					reply(ep, Msg{Type: MsgOpenOK, Sock: sock.id}, &scratch)
+				}
+			}
+		},
+	}
+}
+
+// AccepterSpec builds the ACCEPTER eactor: clients watch a listener
+// socket (MsgWatch) and receive MsgAccepted for every new connection.
+func (s *System) AccepterSpec(name string, worker int, channels ...string) core.Spec {
+	table := s.table
+	type watch struct {
+		ep      *core.Endpoint
+		sock    *Socket
+		pending uint32 // accepted id whose announcement failed; 0 = none
+	}
+	var eps []*core.Endpoint
+	var watches []*watch
+	var scratch []byte
+	recvBuf := make([]byte, core.DefaultNodePayload)
+	return core.Spec{
+		Name:   name,
+		Worker: worker,
+		Init: func(self *core.Self) error {
+			for _, ch := range channels {
+				ep, err := self.Channel(ch)
+				if err != nil {
+					return err
+				}
+				eps = append(eps, ep)
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			for _, ep := range eps {
+				n, ok, err := ep.Recv(recvBuf)
+				if err != nil || !ok {
+					continue
+				}
+				msg, err := ParseMsg(recvBuf[:n])
+				if err != nil || msg.Type != MsgWatch {
+					continue
+				}
+				if sock, ok := table.Get(msg.Sock); ok && sock.lis != nil {
+					sock.SetWake(self.Waker())
+					sock.startAcceptPump(table)
+					watches = append(watches, &watch{ep: ep, sock: sock})
+					self.Progress()
+				}
+			}
+			for _, w := range watches {
+			drain:
+				for i := 0; i < drainBatch; i++ {
+					id := w.pending
+					if id == 0 {
+						select {
+						case id = <-w.sock.accepted:
+						default:
+							break drain
+						}
+					}
+					if !reply(w.ep, Msg{Type: MsgAccepted, Sock: id}, &scratch) {
+						w.pending = id // channel full: retry next round
+						break drain
+					}
+					w.pending = 0
+					self.Progress()
+				}
+			}
+		},
+	}
+}
+
+// ReaderSpec builds the READER eactor: clients watch connection sockets
+// (MsgWatch) and receive their inbound bytes as MsgData, then a final
+// MsgClosed at EOF.
+func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Spec {
+	table := s.table
+	type watch struct {
+		ep      *core.Endpoint
+		sock    *Socket
+		pending []byte // chunk that failed to send, retried first
+	}
+	var eps []*core.Endpoint
+	var watches []*watch
+	var scratch []byte
+	recvBuf := make([]byte, core.DefaultNodePayload)
+	return core.Spec{
+		Name:   name,
+		Worker: worker,
+		Init: func(self *core.Self) error {
+			for _, ch := range channels {
+				ep, err := self.Channel(ch)
+				if err != nil {
+					return err
+				}
+				eps = append(eps, ep)
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			for _, ep := range eps {
+				for {
+					n, ok, err := ep.Recv(recvBuf)
+					if err != nil || !ok {
+						break
+					}
+					msg, err := ParseMsg(recvBuf[:n])
+					if err != nil {
+						continue
+					}
+					switch msg.Type {
+					case MsgWatch:
+						if sock, ok := table.Get(msg.Sock); ok && sock.conn != nil {
+							sock.SetWake(self.Waker())
+							sock.startReadPump()
+							watches = append(watches, &watch{ep: ep, sock: sock})
+							self.Progress()
+						}
+					case MsgUnwatch:
+						for i, w := range watches {
+							if w.sock.id == msg.Sock && w.ep == ep {
+								watches = append(watches[:i], watches[i+1:]...)
+								self.Progress()
+								break
+							}
+						}
+					}
+				}
+			}
+			live := watches[:0]
+			for _, w := range watches {
+				if !s.drainSocket(self, w.ep, w.sock, &w.pending, &scratch) {
+					continue // MsgClosed delivered; drop the watch
+				}
+				live = append(live, w)
+			}
+			watches = live
+		},
+	}
+}
+
+// drainSocket forwards up to drainBatch chunks from the socket's inbox,
+// returning false once the socket is finished (MsgClosed sent).
+func (s *System) drainSocket(self *core.Self, ep *core.Endpoint, sock *Socket, pending *[]byte, scratch *[]byte) bool {
+	maxChunk := MaxData(ep.MaxPayload())
+	for i := 0; i < drainBatch; i++ {
+		var chunk []byte
+		if len(*pending) > 0 {
+			chunk = *pending
+		} else {
+			select {
+			case chunk = <-sock.inbox:
+			default:
+				if sock.eof.Load() && !sock.eofSent.Load() {
+					if reply(ep, Msg{Type: MsgClosed, Sock: sock.id}, scratch) {
+						sock.eofSent.Store(true)
+						self.Progress()
+						return false
+					}
+				}
+				return true
+			}
+		}
+		// Split oversized chunks to the channel's frame limit.
+		emit := chunk
+		if len(emit) > maxChunk {
+			emit = chunk[:maxChunk]
+		}
+		if !reply(ep, Msg{Type: MsgData, Sock: sock.id, Data: emit}, scratch) {
+			*pending = chunk // retry next invocation
+			return true
+		}
+		self.Progress()
+		if len(chunk) > len(emit) {
+			*pending = chunk[len(emit):]
+		} else {
+			*pending = nil
+		}
+	}
+	return true
+}
+
+// WriterSpec builds the WRITER eactor: it writes MsgData payloads to
+// their sockets. It also honours MsgClose, so a sender can order a
+// final frame and the close on one FIFO channel (handshake-failure
+// teardown needs exactly that ordering).
+func (s *System) WriterSpec(name string, worker int, channels ...string) core.Spec {
+	table := s.table
+	var eps []*core.Endpoint
+	recvBuf := make([]byte, core.DefaultNodePayload)
+	return core.Spec{
+		Name:   name,
+		Worker: worker,
+		Init: func(self *core.Self) error {
+			for _, ch := range channels {
+				ep, err := self.Channel(ch)
+				if err != nil {
+					return err
+				}
+				eps = append(eps, ep)
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			for _, ep := range eps {
+				for i := 0; i < drainBatch; i++ {
+					n, ok, err := ep.Recv(recvBuf)
+					if err != nil || !ok {
+						break
+					}
+					msg, err := ParseMsg(recvBuf[:n])
+					if err != nil {
+						continue
+					}
+					switch msg.Type {
+					case MsgData:
+						_ = table.Write(msg.Sock, msg.Data) // peer EOF surfaces via READER
+						self.Progress()
+					case MsgClose:
+						_ = table.Close(msg.Sock)
+						self.Progress()
+					}
+				}
+			}
+		},
+	}
+}
+
+// CloserSpec builds the CLOSER eactor: it closes sockets on MsgClose.
+func (s *System) CloserSpec(name string, worker int, channels ...string) core.Spec {
+	table := s.table
+	var eps []*core.Endpoint
+	recvBuf := make([]byte, core.DefaultNodePayload)
+	return core.Spec{
+		Name:   name,
+		Worker: worker,
+		Init: func(self *core.Self) error {
+			for _, ch := range channels {
+				ep, err := self.Channel(ch)
+				if err != nil {
+					return err
+				}
+				eps = append(eps, ep)
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			for _, ep := range eps {
+				n, ok, err := ep.Recv(recvBuf)
+				if err != nil || !ok {
+					continue
+				}
+				msg, err := ParseMsg(recvBuf[:n])
+				if err != nil || msg.Type != MsgClose {
+					continue
+				}
+				_ = table.Close(msg.Sock)
+				self.Progress()
+			}
+		},
+	}
+}

@@ -1,0 +1,151 @@
+package netactors
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// TestLatencyProbe measures the echo pipeline's round-trip latency and
+// prints a breakdown; it guards against regressions of the netpoll
+// starvation issue (busy workers delaying socket readiness).
+func TestLatencyProbe(t *testing.T) {
+	sys := NewSystem()
+	defer sys.Shutdown()
+
+	addrCh := make(chan string, 1)
+	type echoState struct {
+		phase   int
+		scratch []byte
+	}
+	st := &echoState{}
+	echo := core.Spec{
+		Name: "echo", Worker: 0, State: st,
+		Body: func(self *core.Self) {
+			state := self.State.(*echoState)
+			opener := self.MustChannel("open")
+			accept := self.MustChannel("accept")
+			read := self.MustChannel("read")
+			write := self.MustChannel("write")
+			buf := make([]byte, 2048)
+			switch state.phase {
+			case 0:
+				m, _ := (Msg{Type: MsgListen, Data: []byte("127.0.0.1:0")}).AppendTo(nil)
+				if opener.Send(m) == nil {
+					state.phase = 1
+					self.Progress()
+				}
+			case 1:
+				n, ok, _ := opener.Recv(buf)
+				if !ok {
+					return
+				}
+				msg, _ := ParseMsg(buf[:n])
+				addrCh <- string(msg.Data)
+				w, _ := (Msg{Type: MsgWatch, Sock: msg.Sock}).AppendTo(nil)
+				if accept.Send(w) == nil {
+					state.phase = 2
+					self.Progress()
+				}
+			case 2:
+				if n, ok, _ := accept.Recv(buf); ok {
+					if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgAccepted {
+						w, _ := (Msg{Type: MsgWatch, Sock: msg.Sock}).AppendTo(state.scratch[:0])
+						state.scratch = w
+						_ = read.Send(w)
+						self.Progress()
+					}
+				}
+				if n, ok, _ := read.Recv(buf); ok {
+					if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgData {
+						out, _ := (Msg{Type: MsgData, Sock: msg.Sock, Data: msg.Data}).AppendTo(nil)
+						_ = write.Send(out)
+						self.Progress()
+					}
+				}
+			}
+		},
+	}
+	cfg := core.Config{
+		Workers: []core.WorkerSpec{{}, {}},
+		Actors: []core.Spec{
+			echo,
+			sys.OpenerSpec("opener", 1, "open"),
+			sys.AccepterSpec("accepter", 1, "accept"),
+			sys.ReaderSpec("reader", 1, "read"),
+			sys.WriterSpec("writer", 1, "write"),
+		},
+		Channels: []core.ChannelSpec{
+			{Name: "open", A: "echo", B: "opener"},
+			{Name: "accept", A: "echo", B: "accepter"},
+			{Name: "read", A: "echo", B: "reader"},
+			{Name: "write", A: "echo", B: "writer"},
+		},
+	}
+	rt, err := core.NewRuntime(sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	addr := <-addrCh
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := make([]byte, 150)
+	reply := make([]byte, 150)
+	// Warmup.
+	for i := 0; i < 20; i++ {
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readFull(conn, reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 300
+	var total time.Duration
+	var worst time.Duration
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := conn.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readFull(conn, reply); err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(start)
+		total += d
+		if d > worst {
+			worst = d
+		}
+	}
+	avg := total / rounds
+	fmt.Printf("latency probe: avg=%v worst=%v over %d round trips\n", avg, worst, rounds)
+	if avg > 2*time.Millisecond {
+		t.Errorf("echo pipeline round-trip latency %v exceeds 2ms budget", avg)
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n := 0
+	for n < len(buf) {
+		k, err := conn.Read(buf[n:])
+		if err != nil {
+			return n, err
+		}
+		n += k
+	}
+	return n, nil
+}

@@ -1,0 +1,270 @@
+package netactors
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// inboxCap bounds the per-socket receive queue between the pump
+// goroutine and the READER eactor.
+const inboxCap = 256
+
+// readBufBytes is the pump's per-read buffer size.
+const readBufBytes = 2048
+
+// Socket wraps one connection or listener registered in a Table.
+type Socket struct {
+	id   uint32
+	conn net.Conn
+	lis  net.Listener
+
+	inbox    chan []byte // filled by the read pump
+	accepted chan uint32 // filled by the accept pump (listeners)
+	eof      atomic.Bool
+	eofSent  atomic.Bool
+	// wake rings the watching eactor's worker doorbell when the pump
+	// delivers data; it is swapped on connection handoff.
+	wake atomic.Pointer[func()]
+
+	// outbox feeds the write pump; a full outbox means the peer is not
+	// draining and frames are dropped (slow-consumer policy), so the
+	// WRITER eactor never blocks on a stalled connection.
+	outbox        chan []byte
+	quit          chan struct{}
+	dropped       atomic.Uint64
+	pumpOnce      sync.Once
+	writePumpOnce sync.Once
+	closeOnce     sync.Once
+	closed        atomic.Bool
+}
+
+// Dropped returns the number of outbound frames dropped because the
+// peer was not draining its connection.
+func (s *Socket) Dropped() uint64 { return s.dropped.Load() }
+
+// ID returns the socket identifier.
+func (s *Socket) ID() uint32 { return s.id }
+
+// Table registers sockets under small integer identifiers, the shared
+// state of the networking eactors.
+type Table struct {
+	mu    sync.Mutex
+	next  uint32
+	socks map[uint32]*Socket
+
+	writeDeadline time.Duration
+}
+
+// NewTable creates an empty socket table.
+func NewTable() *Table {
+	return &Table{
+		socks:         make(map[uint32]*Socket),
+		writeDeadline: time.Second,
+	}
+}
+
+// errUnknownSocket reports an operation on an unregistered id.
+var errUnknownSocket = errors.New("netactors: unknown socket")
+
+// AddConn registers a connection and returns its socket.
+func (t *Table) AddConn(conn net.Conn) *Socket {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	s := &Socket{
+		id:     t.next,
+		conn:   conn,
+		inbox:  make(chan []byte, inboxCap),
+		outbox: make(chan []byte, inboxCap),
+		quit:   make(chan struct{}),
+	}
+	t.socks[s.id] = s
+	return s
+}
+
+// AddListener registers a listener and returns its socket.
+func (t *Table) AddListener(lis net.Listener) *Socket {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	s := &Socket{
+		id:       t.next,
+		lis:      lis,
+		accepted: make(chan uint32, inboxCap),
+		quit:     make(chan struct{}),
+	}
+	t.socks[s.id] = s
+	return s
+}
+
+// Get looks a socket up by id.
+func (t *Table) Get(id uint32) (*Socket, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.socks[id]
+	return s, ok
+}
+
+// Close closes and removes a socket.
+func (t *Table) Close(id uint32) error {
+	t.mu.Lock()
+	s, ok := t.socks[id]
+	delete(t.socks, id)
+	t.mu.Unlock()
+	if !ok {
+		return errUnknownSocket
+	}
+	s.shutdown()
+	return nil
+}
+
+// shutdown closes the socket's resources and releases its pumps. Queued
+// outbound frames get a short drain window first, so a final protocol
+// message (e.g. an auth failure) reaches the peer before the reset.
+func (s *Socket) shutdown() {
+	s.closed.Store(true)
+	if s.conn != nil && s.outbox != nil {
+		deadline := time.Now().Add(100 * time.Millisecond)
+		for len(s.outbox) > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.closeOnce.Do(func() { close(s.quit) })
+	if s.conn != nil {
+		_ = s.conn.Close()
+	}
+	if s.lis != nil {
+		_ = s.lis.Close()
+	}
+}
+
+// CloseAll tears down every registered socket (shutdown path).
+func (t *Table) CloseAll() {
+	t.mu.Lock()
+	socks := make([]*Socket, 0, len(t.socks))
+	for _, s := range t.socks {
+		socks = append(socks, s)
+	}
+	t.socks = make(map[uint32]*Socket)
+	t.mu.Unlock()
+	for _, s := range socks {
+		s.shutdown()
+	}
+}
+
+// Len returns the number of registered sockets.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.socks)
+}
+
+// SetWake installs (or replaces) the watcher's doorbell function.
+func (s *Socket) SetWake(wake func()) {
+	if wake == nil {
+		s.wake.Store(nil)
+		return
+	}
+	s.wake.Store(&wake)
+}
+
+func (s *Socket) ringWake() {
+	if fn := s.wake.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// startReadPump launches the goroutine that performs the (netpoller-
+// parked) reads for a watched connection, idempotently.
+func (s *Socket) startReadPump() {
+	s.pumpOnce.Do(func() {
+		go func() {
+			for {
+				buf := make([]byte, readBufBytes)
+				n, err := s.conn.Read(buf)
+				if n > 0 {
+					select {
+					case s.inbox <- buf[:n]: // full queue applies backpressure
+					case <-s.quit:
+						return
+					}
+					s.ringWake()
+				}
+				if err != nil {
+					s.eof.Store(true)
+					s.ringWake()
+					return
+				}
+			}
+		}()
+	})
+}
+
+// startAcceptPump launches the goroutine accepting connections for a
+// watched listener, registering each in the table.
+func (s *Socket) startAcceptPump(t *Table) {
+	s.pumpOnce.Do(func() {
+		go func() {
+			for {
+				conn, err := s.lis.Accept()
+				if err != nil {
+					s.eof.Store(true)
+					s.ringWake()
+					return
+				}
+				ns := t.AddConn(conn)
+				s.accepted <- ns.id
+				s.ringWake()
+			}
+		}()
+	})
+}
+
+// errBackpressure reports a frame dropped because the peer is not
+// draining its connection.
+var errBackpressure = errors.New("netactors: outbound frame dropped (slow consumer)")
+
+// startWritePump launches the goroutine performing the blocking writes
+// for a connection, idempotently.
+func (s *Socket) startWritePump(deadline time.Duration) {
+	s.writePumpOnce.Do(func() {
+		go func() {
+			for {
+				select {
+				case frame := <-s.outbox:
+					if deadline > 0 {
+						_ = s.conn.SetWriteDeadline(time.Now().Add(deadline))
+					}
+					if _, err := s.conn.Write(frame); err != nil {
+						return // read pump reports the failure as EOF
+					}
+				case <-s.quit:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Write queues data for the connection's write pump. A stalled peer
+// costs a dropped frame, never a blocked eactor (the paper's WRITER
+// uses non-blocking send syscalls for the same reason).
+func (t *Table) Write(id uint32, data []byte) error {
+	s, ok := t.Get(id)
+	if !ok || s.conn == nil {
+		return errUnknownSocket
+	}
+	s.startWritePump(t.writeDeadline)
+	frame := make([]byte, len(data))
+	copy(frame, data)
+	select {
+	case s.outbox <- frame:
+		return nil
+	default:
+		s.dropped.Add(1)
+		return errBackpressure
+	}
+}

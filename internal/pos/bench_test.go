@@ -1,0 +1,117 @@
+package pos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+)
+
+func benchStore(b *testing.B, encrypted bool) *Store {
+	b.Helper()
+	opts := Options{SizeBytes: 64 << 20, Buckets: 256}
+	if encrypted {
+		var key [ecrypto.KeySize]byte
+		for i := range key {
+			key[i] = byte(i)
+		}
+		opts.EncryptionKey = &key
+	}
+	s, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func benchKey(i int) []byte {
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], uint64(i%1024))
+	return k[:]
+}
+
+func BenchmarkPOSSet(b *testing.B) {
+	for _, enc := range []bool{false, true} {
+		b.Run(fmt.Sprintf("encrypted=%v", enc), func(b *testing.B) {
+			s := benchStore(b, enc)
+			val := make([]byte, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Set(benchKey(i), val); err != nil {
+					// The store fills with versions; clean and go on.
+					b.StopTimer()
+					if _, cerr := s.Clean(); cerr != nil {
+						b.Fatal(cerr)
+					}
+					b.StartTimer()
+					if err := s.Set(benchKey(i), val); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPOSGet(b *testing.B) {
+	for _, enc := range []bool{false, true} {
+		b.Run(fmt.Sprintf("encrypted=%v", enc), func(b *testing.B) {
+			s := benchStore(b, enc)
+			val := make([]byte, 64)
+			for i := 0; i < 1024; i++ {
+				if err := s.Set(benchKey(i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := s.Get(benchKey(i)); err != nil || !ok {
+					b.Fatalf("Get: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPOSVersionScan shows the read cost of version chains before
+// the Cleaner runs (the paper's fast-write/slower-read trade-off).
+func BenchmarkPOSVersionScan(b *testing.B) {
+	for _, versions := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("versions=%d", versions), func(b *testing.B) {
+			s := benchStore(b, false)
+			key := []byte("hot-key")
+			for v := 0; v < versions; v++ {
+				if err := s.Set(key, []byte{byte(v)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := s.Get(key); err != nil || !ok {
+					b.Fatal("get failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPOSClean(b *testing.B) {
+	s := benchStore(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for v := 0; v < 64; v++ {
+			if err := s.Set([]byte("k"), []byte{byte(v)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := s.Clean(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package pos
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// Failure-injection tests: the store must reject corrupted files rather
+// than misbehave.
+
+func TestReopenRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.pos")
+	s, err := Open(Options{Path: path, SizeBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[offVersion:], 99)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Path: path, SizeBytes: 64 * 1024}); !errors.Is(err, ErrBadStore) {
+		t.Fatalf("bad version err = %v, want ErrBadStore", err)
+	}
+}
+
+func TestReopenRejectsSizeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.pos")
+	s, err := Open(Options{Path: path, SizeBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	// Re-open with a different size: the stored superblock disagrees.
+	if _, err := Open(Options{Path: path, SizeBytes: 128 * 1024}); !errors.Is(err, ErrBadStore) {
+		t.Fatalf("size mismatch err = %v, want ErrBadStore", err)
+	}
+}
+
+func TestReopenRejectsCorruptGeometry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.pos")
+	s, err := Open(Options{Path: path, SizeBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	raw, _ := os.ReadFile(path)
+	binary.LittleEndian.PutUint32(raw[offRegionSize:], 1) // < minRegionSize
+	_ = os.WriteFile(path, raw, 0o644)
+	if _, err := Open(Options{Path: path, SizeBytes: 64 * 1024}); !errors.Is(err, ErrBadStore) {
+		t.Fatalf("corrupt geometry err = %v, want ErrBadStore", err)
+	}
+}
+
+func TestEncryptedStoreDetectsValueTampering(t *testing.T) {
+	key := testEncKey()
+	s := openTestStore(t, Options{EncryptionKey: &key})
+	if err := s.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte somewhere in the record area.
+	flipped := false
+	for off := s.regionsOff; off < len(s.mem) && !flipped; off++ {
+		if s.mem[off] != 0 {
+			s.mem[off] ^= 0xFF
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Fatal("no record bytes found to corrupt")
+	}
+	// Either the key no longer matches (not found) or decryption fails;
+	// silently returning wrong data is the only failure.
+	val, ok, err := s.Get([]byte("k"))
+	if ok && err == nil && string(val) != "v" {
+		t.Fatalf("tampered store returned wrong value %q without error", val)
+	}
+}
+
+func testEncKey() [32]byte {
+	var k [32]byte
+	for i := range k {
+		k[i] = byte(0xA0 + i)
+	}
+	return k
+}
+
+// TestCleanerActorIntegration runs the Cleaner as an eactor inside a
+// runtime, the deployment the paper describes.
+func TestCleanerActorIntegration(t *testing.T) {
+	s := openTestStore(t, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Set([]byte("key"), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := s.CleanerActor("cleaner", 0, 2)
+	if spec.Name != "cleaner" || spec.Body == nil {
+		t.Fatalf("CleanerActor spec = %+v", spec)
+	}
+	rt, err := core.NewRuntime(
+		sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())),
+		core.Config{Workers: []core.WorkerSpec{{}}, Actors: []core.Spec{spec}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Cleaned < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cleaner eactor reclaimed %d of 4 outdated versions", s.Stats().Cleaned)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

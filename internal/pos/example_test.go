@@ -1,0 +1,38 @@
+package pos_test
+
+import (
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/pos"
+)
+
+// Example shows the store's versioned write path: new versions shadow
+// old ones immediately, and the Cleaner reclaims superseded versions
+// once readers have moved past them.
+func Example() {
+	store, err := pos.Open(pos.Options{SizeBytes: 1 << 20})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer store.Close()
+
+	reader := store.RegisterReader()
+	_ = store.Set([]byte("config"), []byte("v1"))
+	_ = store.Set([]byte("config"), []byte("v2"))
+
+	val, _, _ := store.Get([]byte("config"))
+	fmt.Println("current:", string(val))
+
+	// The reader has not observed the update yet: nothing reclaimable.
+	n, _ := store.Clean()
+	fmt.Println("reclaimed before tick:", n)
+
+	reader.Tick()
+	n, _ = store.Clean()
+	fmt.Println("reclaimed after tick:", n)
+	// Output:
+	// current: v2
+	// reclaimed before tick: 0
+	// reclaimed after tick: 1
+}

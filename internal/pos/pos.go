@@ -1,0 +1,597 @@
+// Package pos implements the EActors Persistent Object Store (Section 4
+// of the paper): a lean key-value store over a memory-mapped file,
+// organised as a configurable number of bucket stacks. Writes push new
+// versions on top of the bucket stack; reads scan top-down and therefore
+// always observe the newest version first, making the store linearisable
+// without read locks in the paper's design (Figure 5). Outdated versions
+// accumulate and are reclaimed by a Cleaner once every registered reader
+// has passed the superseding update (grace counters).
+//
+// Differences from the paper, by necessity of the Go environment: the
+// store uses file-relative offsets instead of pointers (Go cannot map at
+// a fixed virtual address), and bucket-striped in-process locks instead
+// of Hardware Lock Elision. Persistence semantics (page-cache-backed
+// mmap, explicit Sync) are the same.
+package pos
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+)
+
+// Store geometry and layout constants.
+const (
+	magic         = 0xEAC7_0B5E_EAC7_0B5E
+	version       = 1
+	headerPages   = 2 // superblock + sealed-key slot
+	pageSize      = 4096
+	minRegionSize = 64
+
+	// Superblock field offsets.
+	offMagic       = 0
+	offVersion     = 8
+	offSize        = 12
+	offBuckets     = 20
+	offRegionSize  = 24
+	offRegionCount = 28
+	offFreeHead    = 32
+	offBucketHeads = 40 // bucket head table starts here, 8 bytes each
+
+	// Sealed-key slot (second page).
+	offSealedLen  = pageSize
+	offSealedBlob = pageSize + 4
+
+	// Record header layout within a region.
+	recNext   = 0  // u64 offset of next record in bucket chain (0 = nil)
+	recFlags  = 8  // u32
+	recEpoch  = 12 // u64 global epoch at Set time
+	recKeyLen = 20 // u32
+	recValLen = 24 // u32
+	recData   = 32 // key bytes then value bytes
+
+	flagOutdated = 1 << 0 // superseded by a newer version
+	flagDeleted  = 1 << 1 // tombstoned by Delete
+)
+
+// Store errors.
+var (
+	ErrFull        = errors.New("pos: store full (no free regions)")
+	ErrTooLarge    = errors.New("pos: key+value exceeds region size")
+	ErrBadStore    = errors.New("pos: invalid or incompatible store file")
+	ErrClosed      = errors.New("pos: store closed")
+	ErrNoSealedKey = errors.New("pos: no sealed key stored")
+)
+
+// Options configures Open.
+type Options struct {
+	// Path is the backing file. Empty means a volatile in-memory store.
+	Path string
+	// SizeBytes is the total store size; rounded up to whole pages.
+	SizeBytes int
+	// Buckets is the number of bucket stacks (default 64).
+	Buckets int
+	// RegionSize is the fixed record region size in bytes (default 256).
+	// One key-value pair must fit in RegionSize-recData bytes.
+	RegionSize int
+	// EncryptionKey, when non-nil, enables encrypted mode: keys are
+	// deterministically encrypted (so lookup compares ciphertexts) and
+	// each pair is stored as one combined sealed value (Section 4.1).
+	EncryptionKey *[ecrypto.KeySize]byte
+}
+
+// Store is a persistent object store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mem    []byte
+	closer func() error
+	syncer func() error
+
+	buckets     int
+	regionSize  int
+	regionCount int
+	regionsOff  int
+
+	freeMu    sync.Mutex
+	bucketMu  []sync.Mutex
+	epoch     atomic.Uint64
+	readersMu sync.Mutex
+	readers   []*Reader
+
+	det  *ecrypto.Deterministic // nil in plaintext mode
+	pair *ecrypto.Cipher
+
+	closed atomic.Bool
+
+	sets    atomic.Uint64
+	gets    atomic.Uint64
+	cleaned atomic.Uint64
+}
+
+func addrOf(b []byte) uintptr {
+	if len(b) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+// Open creates or re-opens a store.
+func Open(opts Options) (*Store, error) {
+	if opts.SizeBytes < headerPages*pageSize+minRegionSize {
+		return nil, fmt.Errorf("pos: size %d too small", opts.SizeBytes)
+	}
+	if opts.Buckets == 0 {
+		opts.Buckets = 64
+	}
+	if opts.Buckets < 1 {
+		return nil, fmt.Errorf("pos: bucket count %d", opts.Buckets)
+	}
+	if opts.RegionSize == 0 {
+		opts.RegionSize = 256
+	}
+	if opts.RegionSize < minRegionSize {
+		return nil, fmt.Errorf("pos: region size %d below minimum %d", opts.RegionSize, minRegionSize)
+	}
+	size := (opts.SizeBytes + pageSize - 1) / pageSize * pageSize
+
+	var (
+		mem    []byte
+		closer = func() error { return nil }
+		syncer = func() error { return nil }
+		err    error
+	)
+	if opts.Path != "" {
+		mem, closer, syncer, err = mapFile(opts.Path, size)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		mem = make([]byte, size)
+	}
+
+	s := &Store{mem: mem, closer: closer, syncer: syncer}
+	if opts.EncryptionKey != nil {
+		det, err := ecrypto.NewDeterministic(*opts.EncryptionKey)
+		if err != nil {
+			_ = closer()
+			return nil, err
+		}
+		pair, err := ecrypto.NewCipher(ecrypto.DeriveKey(*opts.EncryptionKey, "pos-pair"), 2)
+		if err != nil {
+			_ = closer()
+			return nil, err
+		}
+		s.det = det
+		s.pair = pair
+	}
+
+	if binary.LittleEndian.Uint64(mem[offMagic:]) == magic {
+		if err := s.loadSuperblock(opts); err != nil {
+			_ = closer()
+			return nil, err
+		}
+	} else {
+		if err := s.formatSuperblock(opts, size); err != nil {
+			_ = closer()
+			return nil, err
+		}
+	}
+	s.bucketMu = make([]sync.Mutex, s.buckets)
+	return s, nil
+}
+
+func (s *Store) formatSuperblock(opts Options, size int) error {
+	headTable := offBucketHeads + 8*opts.Buckets
+	if headTable > offSealedLen {
+		return fmt.Errorf("pos: %d buckets do not fit the superblock page", opts.Buckets)
+	}
+	regionsOff := headerPages * pageSize
+	regionCount := (size - regionsOff) / opts.RegionSize
+	if regionCount < 1 {
+		return fmt.Errorf("pos: size %d leaves no room for regions", size)
+	}
+
+	mem := s.mem
+	binary.LittleEndian.PutUint64(mem[offMagic:], magic)
+	binary.LittleEndian.PutUint32(mem[offVersion:], version)
+	binary.LittleEndian.PutUint64(mem[offSize:], uint64(size))
+	binary.LittleEndian.PutUint32(mem[offBuckets:], uint32(opts.Buckets))
+	binary.LittleEndian.PutUint32(mem[offRegionSize:], uint32(opts.RegionSize))
+	binary.LittleEndian.PutUint32(mem[offRegionCount:], uint32(regionCount))
+	for b := 0; b < opts.Buckets; b++ {
+		binary.LittleEndian.PutUint64(mem[offBucketHeads+8*b:], 0)
+	}
+
+	// Build the free list: every region chained through its first word.
+	var prev uint64
+	for i := regionCount - 1; i >= 0; i-- {
+		off := uint64(regionsOff + i*opts.RegionSize)
+		binary.LittleEndian.PutUint64(mem[off:], prev)
+		prev = off
+	}
+	binary.LittleEndian.PutUint64(mem[offFreeHead:], prev)
+
+	s.buckets = opts.Buckets
+	s.regionSize = opts.RegionSize
+	s.regionCount = regionCount
+	s.regionsOff = regionsOff
+	return nil
+}
+
+func (s *Store) loadSuperblock(opts Options) error {
+	mem := s.mem
+	if binary.LittleEndian.Uint32(mem[offVersion:]) != version {
+		return fmt.Errorf("%w: version mismatch", ErrBadStore)
+	}
+	storedSize := binary.LittleEndian.Uint64(mem[offSize:])
+	if storedSize != uint64(len(mem)) {
+		return fmt.Errorf("%w: stored size %d vs mapped %d", ErrBadStore, storedSize, len(mem))
+	}
+	s.buckets = int(binary.LittleEndian.Uint32(mem[offBuckets:]))
+	s.regionSize = int(binary.LittleEndian.Uint32(mem[offRegionSize:]))
+	s.regionCount = int(binary.LittleEndian.Uint32(mem[offRegionCount:]))
+	s.regionsOff = headerPages * pageSize
+	if s.buckets < 1 || s.regionSize < minRegionSize || s.regionCount < 1 {
+		return fmt.Errorf("%w: corrupt geometry", ErrBadStore)
+	}
+	if opts.Buckets != 0 && opts.Buckets != s.buckets {
+		return fmt.Errorf("%w: bucket count %d differs from stored %d", ErrBadStore, opts.Buckets, s.buckets)
+	}
+	return nil
+}
+
+// MaxPair returns the largest key+value the store accepts. In encrypted
+// mode the ciphertext expansion is already accounted for.
+func (s *Store) MaxPair() int {
+	capacity := s.regionSize - recData
+	if s.det != nil {
+		capacity -= 2 * ecrypto.Overhead
+	}
+	return capacity
+}
+
+// Buckets returns the configured bucket count.
+func (s *Store) Buckets() int { return s.buckets }
+
+// Regions returns the total region count.
+func (s *Store) Regions() int { return s.regionCount }
+
+func (s *Store) bucketOf(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(s.buckets))
+}
+
+// allocRegion pops a region from the free list, or 0 when full.
+func (s *Store) allocRegion() uint64 {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	head := binary.LittleEndian.Uint64(s.mem[offFreeHead:])
+	if head == 0 {
+		return 0
+	}
+	next := binary.LittleEndian.Uint64(s.mem[head:])
+	binary.LittleEndian.PutUint64(s.mem[offFreeHead:], next)
+	return head
+}
+
+func (s *Store) freeRegion(off uint64) {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	head := binary.LittleEndian.Uint64(s.mem[offFreeHead:])
+	binary.LittleEndian.PutUint64(s.mem[off:], head)
+	binary.LittleEndian.PutUint64(s.mem[offFreeHead:], off)
+}
+
+// FreeRegions counts the regions on the free list (O(n), for tests and
+// stats).
+func (s *Store) FreeRegions() int {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	count := 0
+	for off := binary.LittleEndian.Uint64(s.mem[offFreeHead:]); off != 0; {
+		count++
+		off = binary.LittleEndian.Uint64(s.mem[off:])
+	}
+	return count
+}
+
+// encode transforms a pair for storage: identity in plaintext mode; in
+// encrypted mode the key becomes its deterministic ciphertext and the
+// value the sealed combination of key and value.
+func (s *Store) encode(key, value []byte) (storedKey, storedValue []byte, err error) {
+	if s.det == nil {
+		return key, value, nil
+	}
+	storedKey = s.det.Seal(key)
+	combined := make([]byte, 0, 4+len(key)+len(value))
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(key)))
+	combined = append(combined, lenBuf[:]...)
+	combined = append(combined, key...)
+	combined = append(combined, value...)
+	storedValue = s.pair.Seal(nil, combined, storedKey)
+	return storedKey, storedValue, nil
+}
+
+// decodeValue recovers the plaintext value from a stored pair, verifying
+// the embedded key in encrypted mode.
+func (s *Store) decodeValue(storedKey, storedValue, wantKey []byte) ([]byte, error) {
+	if s.det == nil {
+		out := make([]byte, len(storedValue))
+		copy(out, storedValue)
+		return out, nil
+	}
+	combined, err := s.pair.Open(nil, storedValue, storedKey)
+	if err != nil {
+		return nil, err
+	}
+	if len(combined) < 4 {
+		return nil, ErrBadStore
+	}
+	keyLen := int(binary.LittleEndian.Uint32(combined))
+	if keyLen < 0 || 4+keyLen > len(combined) {
+		return nil, ErrBadStore
+	}
+	if string(combined[4:4+keyLen]) != string(wantKey) {
+		return nil, fmt.Errorf("%w: embedded key mismatch", ErrBadStore)
+	}
+	return combined[4+keyLen:], nil
+}
+
+// lookupKey returns the byte string used for hashing and comparison.
+func (s *Store) lookupKey(key []byte) []byte {
+	if s.det == nil {
+		return key
+	}
+	return s.det.Seal(key)
+}
+
+// Set stores a new version of key. Older versions stay in the bucket
+// (marked outdated) until the Cleaner reclaims them.
+func (s *Store) Set(key, value []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	storedKey, storedValue, err := s.encode(key, value)
+	if err != nil {
+		return err
+	}
+	if recData+len(storedKey)+len(storedValue) > s.regionSize {
+		return fmt.Errorf("%w: %d+%d bytes into %d-byte region",
+			ErrTooLarge, len(storedKey), len(storedValue), s.regionSize)
+	}
+	region := s.allocRegion()
+	if region == 0 {
+		return ErrFull
+	}
+	epoch := s.epoch.Add(1)
+
+	mem := s.mem
+	rec := mem[region : region+uint64(s.regionSize)]
+	binary.LittleEndian.PutUint32(rec[recFlags:], 0)
+	binary.LittleEndian.PutUint64(rec[recEpoch:], epoch)
+	binary.LittleEndian.PutUint32(rec[recKeyLen:], uint32(len(storedKey)))
+	binary.LittleEndian.PutUint32(rec[recValLen:], uint32(len(storedValue)))
+	copy(rec[recData:], storedKey)
+	copy(rec[recData+len(storedKey):], storedValue)
+
+	b := s.bucketOf(storedKey)
+	s.bucketMu[b].Lock()
+	headOff := offBucketHeads + 8*b
+	head := binary.LittleEndian.Uint64(mem[headOff:])
+	binary.LittleEndian.PutUint64(rec[recNext:], head)
+	binary.LittleEndian.PutUint64(mem[headOff:], region)
+	// Mark older versions outdated right away (Section 4.1: "the marking
+	// of outdated values is performed immediately after updates").
+	for off := head; off != 0; {
+		r := mem[off : off+uint64(s.regionSize)]
+		if s.recordKeyEquals(r, storedKey) {
+			flags := binary.LittleEndian.Uint32(r[recFlags:])
+			if flags&(flagOutdated|flagDeleted) == 0 {
+				binary.LittleEndian.PutUint32(r[recFlags:], flags|flagOutdated)
+			}
+		}
+		off = binary.LittleEndian.Uint64(r[recNext:])
+	}
+	s.bucketMu[b].Unlock()
+	s.sets.Add(1)
+	return nil
+}
+
+func (s *Store) recordKeyEquals(rec, key []byte) bool {
+	keyLen := int(binary.LittleEndian.Uint32(rec[recKeyLen:]))
+	if keyLen != len(key) {
+		return false
+	}
+	return string(rec[recData:recData+keyLen]) == string(key)
+}
+
+// Get returns the newest value stored for key.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	if s.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	s.gets.Add(1)
+	storedKey := s.lookupKey(key)
+	b := s.bucketOf(storedKey)
+	mem := s.mem
+	s.bucketMu[b].Lock()
+	defer s.bucketMu[b].Unlock()
+	for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0; {
+		rec := mem[off : off+uint64(s.regionSize)]
+		if s.recordKeyEquals(rec, storedKey) {
+			flags := binary.LittleEndian.Uint32(rec[recFlags:])
+			if flags&flagDeleted != 0 {
+				// Newest version is a tombstone: key absent.
+				return nil, false, nil
+			}
+			keyLen := int(binary.LittleEndian.Uint32(rec[recKeyLen:]))
+			valLen := int(binary.LittleEndian.Uint32(rec[recValLen:]))
+			stored := rec[recData+keyLen : recData+keyLen+valLen]
+			val, err := s.decodeValue(storedKey, stored, key)
+			if err != nil {
+				return nil, false, err
+			}
+			return val, true, nil
+		}
+		off = binary.LittleEndian.Uint64(rec[recNext:])
+	}
+	return nil, false, nil
+}
+
+// Delete tombstones key. It reports whether a live version existed.
+func (s *Store) Delete(key []byte) (bool, error) {
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
+	storedKey := s.lookupKey(key)
+	b := s.bucketOf(storedKey)
+	mem := s.mem
+	s.bucketMu[b].Lock()
+	defer s.bucketMu[b].Unlock()
+	found := false
+	for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0; {
+		rec := mem[off : off+uint64(s.regionSize)]
+		if s.recordKeyEquals(rec, storedKey) {
+			flags := binary.LittleEndian.Uint32(rec[recFlags:])
+			if flags&(flagOutdated|flagDeleted) == 0 {
+				found = true
+			}
+			binary.LittleEndian.PutUint32(rec[recFlags:], flags|flagDeleted|flagOutdated)
+			// Stamp the deletion epoch so the cleaner honours grace.
+			binary.LittleEndian.PutUint64(rec[recEpoch:], s.epoch.Add(1))
+		}
+		off = binary.LittleEndian.Uint64(rec[recNext:])
+	}
+	return found, nil
+}
+
+// Sync flushes the store to its backing file (msync on Linux).
+func (s *Store) Sync() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.syncer()
+}
+
+// Close flushes and releases the store.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return s.closer()
+}
+
+// StoreSealedKey writes a sealed key blob into the dedicated slot
+// (Section 4.1: encryption keys survive reboots as sealed data inside
+// the POS).
+func (s *Store) StoreSealedKey(blob []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if len(blob) > pageSize-4 {
+		return fmt.Errorf("pos: sealed blob %d bytes exceeds slot", len(blob))
+	}
+	binary.LittleEndian.PutUint32(s.mem[offSealedLen:], uint32(len(blob)))
+	copy(s.mem[offSealedBlob:], blob)
+	return nil
+}
+
+// LoadSealedKey reads back the sealed key blob.
+func (s *Store) LoadSealedKey() ([]byte, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	n := int(binary.LittleEndian.Uint32(s.mem[offSealedLen:]))
+	if n == 0 {
+		return nil, ErrNoSealedKey
+	}
+	if n > pageSize-4 {
+		return nil, ErrBadStore
+	}
+	out := make([]byte, n)
+	copy(out, s.mem[offSealedBlob:offSealedBlob+n])
+	return out, nil
+}
+
+// Range calls fn for the newest live version of every key, in no
+// particular order, until fn returns false. In encrypted mode keys and
+// values are decrypted for the callback. Mutations during iteration are
+// allowed (bucket locks are taken one at a time).
+func (s *Store) Range(fn func(key, value []byte) bool) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	mem := s.mem
+	for b := 0; b < s.buckets; b++ {
+		s.bucketMu[b].Lock()
+		seen := make(map[string]bool)
+		type pair struct{ key, value []byte }
+		var out []pair
+		for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0; {
+			rec := mem[off : off+uint64(s.regionSize)]
+			keyLen := int(binary.LittleEndian.Uint32(rec[recKeyLen:]))
+			valLen := int(binary.LittleEndian.Uint32(rec[recValLen:]))
+			storedKey := rec[recData : recData+keyLen]
+			flags := binary.LittleEndian.Uint32(rec[recFlags:])
+			if !seen[string(storedKey)] {
+				seen[string(storedKey)] = true
+				if flags&flagDeleted == 0 {
+					k := append([]byte(nil), storedKey...)
+					v := append([]byte(nil), rec[recData+keyLen:recData+keyLen+valLen]...)
+					out = append(out, pair{k, v})
+				}
+			}
+			off = binary.LittleEndian.Uint64(rec[recNext:])
+		}
+		s.bucketMu[b].Unlock()
+
+		for _, p := range out {
+			key, value := p.key, p.value
+			if s.det != nil {
+				combined, err := s.pair.Open(nil, value, key)
+				if err != nil {
+					continue // not decryptable under this store key
+				}
+				if len(combined) < 4 {
+					continue
+				}
+				kl := int(binary.LittleEndian.Uint32(combined))
+				if kl < 0 || 4+kl > len(combined) {
+					continue
+				}
+				key = combined[4 : 4+kl]
+				value = combined[4+kl:]
+			}
+			if !fn(key, value) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises store occupancy.
+type Stats struct {
+	Sets, Gets, Cleaned uint64
+	Regions             int
+	FreeRegions         int
+}
+
+// Stats returns operation counters and occupancy.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Sets:        s.sets.Load(),
+		Gets:        s.gets.Load(),
+		Cleaned:     s.cleaned.Load(),
+		Regions:     s.regionCount,
+		FreeRegions: s.FreeRegions(),
+	}
+}

@@ -1,0 +1,106 @@
+package pos
+
+import (
+	"errors"
+	"sort"
+	"testing"
+)
+
+func collectRange(t *testing.T, s *Store) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	if err := s.Range(func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	return out
+}
+
+func TestRangeBasics(t *testing.T) {
+	s := openTestStore(t, Options{})
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range want {
+		if err := s.Set([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectRange(t, s)
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%s] = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestRangeSeesNewestVersionOnly(t *testing.T) {
+	s := openTestStore(t, Options{})
+	_ = s.Set([]byte("k"), []byte("old"))
+	_ = s.Set([]byte("k"), []byte("new"))
+	got := collectRange(t, s)
+	if len(got) != 1 || got["k"] != "new" {
+		t.Fatalf("Range = %v", got)
+	}
+}
+
+func TestRangeSkipsDeleted(t *testing.T) {
+	s := openTestStore(t, Options{})
+	_ = s.Set([]byte("gone"), []byte("x"))
+	_ = s.Set([]byte("kept"), []byte("y"))
+	if _, err := s.Delete([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	got := collectRange(t, s)
+	if _, ok := got["gone"]; ok {
+		t.Fatal("Range returned a deleted key")
+	}
+	if got["kept"] != "y" {
+		t.Fatalf("Range = %v", got)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := openTestStore(t, Options{})
+	for _, k := range []string{"a", "b", "c", "d"} {
+		_ = s.Set([]byte(k), []byte("v"))
+	}
+	count := 0
+	_ = s.Range(func(k, v []byte) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d keys", count)
+	}
+}
+
+func TestRangeEncrypted(t *testing.T) {
+	key := testEncKey()
+	s := openTestStore(t, Options{EncryptionKey: &key})
+	_ = s.Set([]byte("alice"), []byte("online"))
+	_ = s.Set([]byte("bob"), []byte("away"))
+	got := collectRange(t, s)
+	var keys []string
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) != 2 || keys[0] != "alice" || keys[1] != "bob" {
+		t.Fatalf("encrypted Range keys = %v", keys)
+	}
+	if got["alice"] != "online" || got["bob"] != "away" {
+		t.Fatalf("encrypted Range = %v", got)
+	}
+}
+
+func TestRangeClosed(t *testing.T) {
+	s := openTestStore(t, Options{})
+	_ = s.Close()
+	if err := s.Range(func(k, v []byte) bool { return true }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Range after close err = %v", err)
+	}
+}

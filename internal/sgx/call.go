@@ -1,0 +1,73 @@
+package sgx
+
+import (
+	"errors"
+)
+
+// This file models the SGX SDK's EDL-generated call path: ECalls enter an
+// enclave, OCalls temporarily leave it. Both marshal their buffers across
+// the boundary (the SDK's proxy/bridge memcpy), which is what the paper's
+// native ping-pong baseline pays per message (Figure 11: the native curve
+// peaks near the 32 KiB L1 size because of exactly this copy).
+
+// ErrNotInEnclave is returned by OCall when the context is untrusted.
+var ErrNotInEnclave = errors.New("sgx: OCall outside an enclave")
+
+// ErrInEnclave is returned by ECall when the context is already inside an
+// enclave other than the target; the SDK requires leaving first.
+var ErrInEnclave = errors.New("sgx: ECall from inside a different enclave")
+
+// ECall performs an SDK-style call into enclave e: marshal in, enter, run
+// fn inside the enclave, exit, marshal out. in and out are the logical
+// argument and result buffers; they are charged (and the copy modelled on
+// scratch space) but ownership stays with the caller.
+func (c *Context) ECall(e *Enclave, in, out []byte, fn func()) error {
+	if e == nil {
+		return errors.New("sgx: ECall: nil enclave")
+	}
+	if c.cur != Untrusted && c.cur != e.id {
+		return ErrInEnclave
+	}
+	p := c.platform
+	p.ecalls.Add(1)
+	p.chargeCopy(len(in))
+	prev := c.cur
+	e.noteEnter()
+	c.cross() // EENTER
+	c.cur = e.id
+	fn()
+	c.cross() // EEXIT
+	e.noteExit()
+	c.cur = prev
+	p.chargeCopy(len(out))
+	return nil
+}
+
+// OCall performs an SDK-style call out of the current enclave: marshal
+// the arguments to untrusted memory, exit, run fn untrusted, re-enter,
+// marshal results back.
+func (c *Context) OCall(in, out []byte, fn func()) error {
+	if c.cur == Untrusted {
+		return ErrNotInEnclave
+	}
+	p := c.platform
+	p.ocalls.Add(1)
+	// The SDK allocates an untrusted buffer and copies the message out
+	// before the exit (Section 6.2 discussion).
+	p.chargeCopy(len(in))
+	inside := c.cur
+	insideEnclave, _ := p.Enclave(inside)
+	if insideEnclave != nil {
+		insideEnclave.noteExit()
+	}
+	c.cross() // EEXIT
+	c.cur = Untrusted
+	fn()
+	if insideEnclave != nil {
+		insideEnclave.noteEnter()
+	}
+	c.cross() // EENTER
+	c.cur = inside
+	p.chargeCopy(len(out))
+	return nil
+}

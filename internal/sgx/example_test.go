@@ -1,0 +1,35 @@
+package sgx_test
+
+import (
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// Example shows the simulator's accounting: transitions are counted and
+// charged, sealing binds data to the enclave identity.
+func Example() {
+	platform := sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel()))
+	enclave, err := platform.CreateEnclave("worker", 64*1024)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	ctx := sgx.NewContext(platform)
+	_ = ctx.Enter(enclave)
+	sealed, _ := enclave.Seal([]byte("secret"), nil)
+	ctx.Exit()
+
+	plain, _ := enclave.Unseal(sealed, nil)
+	fmt.Println("unsealed:", string(plain))
+	fmt.Println("crossings:", ctx.Crossings())
+
+	other, _ := platform.CreateEnclave("intruder", 0)
+	_, err = other.Unseal(sealed, nil)
+	fmt.Println("foreign unseal fails:", err != nil)
+	// Output:
+	// unsealed: secret
+	// crossings: 2
+	// foreign unseal fails: true
+}

@@ -1,0 +1,112 @@
+package sgx
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mutex models the SGX SDK's sgx_thread_mutex. A thread inside an
+// enclave cannot be suspended and resumed by the OS while holding
+// in-enclave wait state, so the SDK implements a *barging* mutex:
+//
+//  1. try to grab the lock word with a CAS;
+//  2. spin a bounded budget retrying;
+//  3. exit the enclave (EEXIT) and block on an untrusted event
+//     (sgx_thread_wait_untrusted_event OCall);
+//  4. once signalled, re-enter (EENTER) and RETRY from the top — a
+//     fresh arrival may have barged in, sending the thread back to
+//     sleep and charging the transition pair again.
+//
+// Unlock stores the lock word and, when sleepers exist, pays an OCall
+// (sgx_thread_set_untrusted_event) to signal one. Under contention the
+// retry loop multiplies transition pairs per acquisition, which is why
+// Figure 1 shows the SDK mutex degrading with thread count while a
+// futex mutex stays flat.
+//
+// From untrusted context the same mutex degenerates to CAS plus futex
+// behaviour without transition charges.
+type Mutex struct {
+	platform *Platform
+
+	state    atomic.Int32 // 0 free, 1 locked
+	sleepers atomic.Int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  uint64 // wake generation, guarded by mu
+}
+
+// NewMutex creates an SDK-style mutex on the given platform.
+func NewMutex(p *Platform) *Mutex {
+	m := &Mutex{platform: p}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *Mutex) tryAcquire() bool {
+	return m.state.CompareAndSwap(0, 1)
+}
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock(ctx *Context) {
+	if m.tryAcquire() {
+		return
+	}
+	p := m.platform
+	inEnclave := ctx != nil && ctx.InEnclave()
+	spinFor := p.costs.CyclesToDuration(float64(p.costs.MutexSpinCycles))
+	for {
+		// Bounded in-enclave spinning.
+		if spinFor > 0 {
+			deadline := time.Now().Add(spinFor)
+			for time.Now().Before(deadline) {
+				if m.tryAcquire() {
+					return
+				}
+			}
+		} else if m.tryAcquire() {
+			return
+		}
+
+		// Sleep path: leave the enclave and wait for a wake event.
+		p.mutexSleeps.Add(1)
+		m.sleepers.Add(1)
+		if inEnclave {
+			ctx.cross() // EEXIT towards the untrusted event
+		}
+		m.mu.Lock()
+		gen := m.gen
+		// Re-check under the wait lock so a signal cannot be lost
+		// between the failed CAS and the wait.
+		for m.gen == gen && m.state.Load() != 0 {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+		m.sleepers.Add(-1)
+		if inEnclave {
+			ctx.cross() // EENTER to retry
+		}
+		// Barging retry: another thread may already hold the lock again.
+		if m.tryAcquire() {
+			return
+		}
+	}
+}
+
+// Unlock releases the mutex, signalling a sleeper (with the OCall
+// charge when inside an enclave).
+func (m *Mutex) Unlock(ctx *Context) {
+	m.state.Store(0)
+	if m.sleepers.Load() == 0 {
+		return
+	}
+	if ctx != nil && ctx.InEnclave() {
+		ctx.cross() // EEXIT for sgx_thread_set_untrusted_event
+		ctx.cross() // EENTER back
+	}
+	m.mu.Lock()
+	m.gen++
+	m.mu.Unlock()
+	m.cond.Signal()
+}

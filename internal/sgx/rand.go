@@ -1,0 +1,69 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"sync"
+)
+
+// drbg is a deterministic AES-CTR random bit generator standing in for
+// the hardware RDRAND path behind sgx_read_rand. Determinism (per seed)
+// keeps tests reproducible; the important simulated property is the
+// per-block latency charge, which the paper identifies as the SMC
+// bottleneck (Section 6.3.1).
+type drbg struct {
+	platform *Platform
+
+	mu      sync.Mutex
+	stream  cipher.Stream
+	counter uint64
+	block   [aes.BlockSize]byte
+}
+
+func newDRBG(seed [32]byte, p *Platform) *drbg {
+	blockCipher, err := aes.NewCipher(seed[:])
+	if err != nil {
+		// A 32-byte key can never fail; treat as unreachable.
+		panic("sgx: drbg: " + err.Error())
+	}
+	var iv [aes.BlockSize]byte
+	return &drbg{
+		platform: p,
+		stream:   cipher.NewCTR(blockCipher, iv[:]),
+	}
+}
+
+func (d *drbg) read(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for i := range p {
+		p[i] = 0
+	}
+	d.stream.XORKeyStream(p, p)
+	d.mu.Unlock()
+	plat := d.platform
+	plat.randBytes.Add(uint64(len(p)))
+	plat.costs.ChargeCycles(plat.costs.RandCycles(len(p)))
+}
+
+// ReadRand fills p with random bytes using the enclave's trusted RNG,
+// charging the modelled RDRAND latency per block (sgx_read_rand analogue).
+func (e *Enclave) ReadRand(p []byte) {
+	e.drbg.read(p)
+}
+
+// ReadRandUint32s fills v with trusted random 32-bit values; a
+// convenience for the secure-sum use case's mask vectors.
+func (e *Enclave) ReadRandUint32s(v []uint32) {
+	if len(v) == 0 {
+		return
+	}
+	buf := make([]byte, 4*len(v))
+	e.ReadRand(buf)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+}

@@ -1,0 +1,58 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+)
+
+// ErrSealTooShort is returned when unsealing a blob shorter than the
+// sealing envelope.
+var ErrSealTooShort = errors.New("sgx: sealed blob too short")
+
+// sealNonceSize is the AES-GCM nonce size used by the sealing envelope.
+const sealNonceSize = 12
+
+// SealOverhead is the number of bytes sealing adds to a plaintext
+// (nonce + GCM tag).
+const SealOverhead = sealNonceSize + 16
+
+// Seal encrypts and authenticates data with the enclave's seal key
+// (MRENCLAVE policy: only the same enclave identity on the same platform
+// can unseal). aad is bound to the blob but not encrypted. The sealed
+// blob layout is nonce || ciphertext+tag.
+func (e *Enclave) Seal(plaintext, aad []byte) ([]byte, error) {
+	gcm, err := e.sealAEAD()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, sealNonceSize, sealNonceSize+len(plaintext)+gcm.Overhead())
+	e.ReadRand(nonce)
+	return gcm.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// Unseal authenticates and decrypts a blob produced by Seal with the same
+// enclave identity and aad.
+func (e *Enclave) Unseal(sealed, aad []byte) ([]byte, error) {
+	if len(sealed) < SealOverhead {
+		return nil, ErrSealTooShort
+	}
+	gcm, err := e.sealAEAD()
+	if err != nil {
+		return nil, err
+	}
+	plaintext, err := gcm.Open(nil, sealed[:sealNonceSize], sealed[sealNonceSize:], aad)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal: %w", err)
+	}
+	return plaintext, nil
+}
+
+func (e *Enclave) sealAEAD() (cipher.AEAD, error) {
+	blockCipher, err := aes.NewCipher(e.sealKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal key: %w", err)
+	}
+	return cipher.NewGCM(blockCipher)
+}

@@ -1,0 +1,204 @@
+package smc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// EAService is the EActors deployment of the secure-sum protocol
+// (Figure 9a): each party is an eactor in its own enclave with its own
+// worker; ring links are encrypted channels. The first party runs
+// rounds back to back (closed loop), so the counter rate is the
+// service's request throughput.
+type EAService struct {
+	rt     *core.Runtime
+	opts   Options
+	rounds atomic.Uint64
+
+	mu      sync.Mutex
+	lastSum []uint32
+}
+
+// StartEA builds and starts the EActors secure-sum ring.
+func StartEA(opts Options) (*EAService, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, err
+	}
+	svc := &EAService{opts: opts}
+
+	k := opts.Parties
+	payload := 4*opts.Dim + 64
+	if payload < 256 {
+		payload = 256
+	}
+	cfg := core.Config{
+		NodePayload: payload,
+		PoolNodes:   4 * k,
+		Workers:     make([]core.WorkerSpec, k),
+	}
+	for p := 0; p < k; p++ {
+		cfg.Enclaves = append(cfg.Enclaves, core.EnclaveSpec{Name: enclaveName(p)})
+	}
+	// Ring links: ring-p connects party p to party (p+1)%k. Endpoints in
+	// different enclaves, so the runtime encrypts them transparently.
+	for p := 0; p < k; p++ {
+		cfg.Channels = append(cfg.Channels, core.ChannelSpec{
+			Name: ringName(p),
+			A:    partyName(p),
+			B:    partyName((p + 1) % k),
+			// Two in-flight rounds at most; smallest legal capacity.
+			Capacity: 4,
+		})
+	}
+	for p := 0; p < k; p++ {
+		cfg.Actors = append(cfg.Actors, svc.partySpec(p))
+	}
+
+	rt, err := core.NewRuntime(opts.Platform, cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc.rt = rt
+	if err := rt.Start(); err != nil {
+		rt.Stop()
+		return nil, err
+	}
+	return svc, nil
+}
+
+func enclaveName(p int) string { return fmt.Sprintf("smc-party-%d", p) }
+func partyName(p int) string   { return fmt.Sprintf("party-%d", p) }
+func ringName(p int) string    { return fmt.Sprintf("ring-%d", p) }
+
+// partyState is one party eactor's private state.
+type partyState struct {
+	secret  []uint32
+	rnd     []uint32 // first party only
+	m       []uint32
+	buf     []byte
+	inRound bool // first party only
+}
+
+// partySpec builds party p's eactor.
+func (svc *EAService) partySpec(p int) core.Spec {
+	opts := svc.opts
+	k := opts.Parties
+	first := p == 0
+	st := &partyState{
+		secret: initialSecret(p, opts.Dim),
+		m:      make([]uint32, opts.Dim),
+		buf:    make([]byte, 4*opts.Dim),
+	}
+	if first {
+		st.rnd = make([]uint32, opts.Dim)
+	}
+	var in, out *core.Endpoint
+	var enclave *sgx.Enclave
+	var costs *sgx.CostModel
+	return core.Spec{
+		Name:    partyName(p),
+		Enclave: enclaveName(p),
+		Worker:  p,
+		State:   st,
+		Init: func(self *core.Self) error {
+			in = self.MustChannel(ringName((p + k - 1) % k))
+			out = self.MustChannel(ringName(p))
+			enclave = self.Enclave()
+			costs = self.Runtime().Platform().Costs()
+			return nil
+		},
+		Body: func(self *core.Self) {
+			if first {
+				svc.firstPartyBody(self, st, in, out, enclave, costs)
+			} else {
+				svc.innerPartyBody(self, st, in, out, costs)
+			}
+		},
+	}
+}
+
+// firstPartyBody starts rounds and unmasks results (party P1 of the
+// paper).
+func (svc *EAService) firstPartyBody(self *core.Self, st *partyState, in, out *core.Endpoint, enclave *sgx.Enclave, costs *sgx.CostModel) {
+	if !st.inRound {
+		// Refill the mask from the trusted RNG — the cost the paper
+		// identifies as the plain protocol's bottleneck.
+		enclave.ReadRandUint32s(st.rnd)
+		maskVector(st.m, st.secret, st.rnd)
+		encodeVector(st.buf, st.m)
+		if out.Send(st.buf) != nil {
+			return // retry next invocation (channel full)
+		}
+		st.inRound = true
+		self.Progress()
+		return
+	}
+	n, ok, err := in.Recv(st.buf[:cap(st.buf)])
+	if err != nil || !ok {
+		return
+	}
+	if decodeVector(st.m, st.buf[:n]) != nil {
+		return
+	}
+	sum := make([]uint32, len(st.m))
+	unmask(sum, st.m, st.rnd)
+	svc.mu.Lock()
+	svc.lastSum = sum
+	svc.mu.Unlock()
+	if svc.opts.Dynamic {
+		updateSecret(st.secret, costs)
+	}
+	svc.rounds.Add(1)
+	st.inRound = false
+	self.Progress()
+}
+
+// innerPartyBody adds this party's secret and forwards the message.
+func (svc *EAService) innerPartyBody(self *core.Self, st *partyState, in, out *core.Endpoint, costs *sgx.CostModel) {
+	n, ok, err := in.Recv(st.buf[:cap(st.buf)])
+	if err != nil || !ok {
+		return
+	}
+	if decodeVector(st.m, st.buf[:n]) != nil {
+		return
+	}
+	addSecret(st.m, st.secret)
+	encodeVector(st.buf, st.m)
+	// The ring capacity covers all in-flight rounds, so a full channel
+	// cannot occur while a round is outstanding; treat it as fatal drop.
+	_ = out.Send(st.buf)
+	if svc.opts.Dynamic {
+		updateSecret(st.secret, costs)
+	}
+	self.Progress()
+}
+
+// Rounds returns the number of completed secure sums.
+func (svc *EAService) Rounds() uint64 { return svc.rounds.Load() }
+
+// LastSum returns a copy of the most recent result vector.
+func (svc *EAService) LastSum() []uint32 {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	out := make([]uint32, len(svc.lastSum))
+	copy(out, svc.lastSum)
+	return out
+}
+
+// WaitRounds blocks until at least n rounds have completed.
+func (svc *EAService) WaitRounds(n uint64) {
+	for svc.rounds.Load() < n {
+		runtime.Gosched()
+	}
+}
+
+// Runtime exposes the underlying runtime (stats, tests).
+func (svc *EAService) Runtime() *core.Runtime { return svc.rt }
+
+// Stop shuts the ring down.
+func (svc *EAService) Stop() { svc.rt.Stop() }

@@ -1,0 +1,54 @@
+package smc
+
+import (
+	"testing"
+)
+
+func TestNetworkedRoundCorrectness(t *testing.T) {
+	for _, parties := range []int{2, 3, 5} {
+		svc, err := StartNetworked(Options{Parties: parties, Dim: 16, Platform: zeroPlatform()})
+		if err != nil {
+			t.Fatalf("StartNetworked(%d): %v", parties, err)
+		}
+		want := ExpectedSum(parties, 16, 1, false)
+		for r := 0; r < 5; r++ {
+			sum, err := svc.Round()
+			if err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+			if !equalVec(sum, want) {
+				t.Fatalf("parties=%d round=%d sum = %v, want %v", parties, r, sum[:4], want[:4])
+			}
+		}
+		svc.Close()
+	}
+}
+
+func TestNetworkedDynamic(t *testing.T) {
+	svc, err := StartNetworked(Options{Parties: 3, Dim: 8, Dynamic: true, Platform: zeroPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for r := 1; r <= 4; r++ {
+		sum, err := svc.Round()
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if !equalVec(sum, ExpectedSum(3, 8, r, true)) {
+			t.Fatalf("dynamic round %d mismatch", r)
+		}
+	}
+}
+
+func TestNetworkedCloseIdempotent(t *testing.T) {
+	svc, err := StartNetworked(Options{Parties: 2, Dim: 4, Platform: zeroPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close()
+	if _, err := svc.Round(); err == nil {
+		t.Fatal("Round succeeded after Close")
+	}
+}

@@ -1,0 +1,149 @@
+// Package smc implements the paper's second use case (Section 5.2): a
+// secure multi-party sum over private vectors. K parties form a ring;
+// the first party masks its secret with a fresh random vector, every
+// hop adds its own secret, and the first party unmasks the final sum.
+// All arithmetic is modulo 2^32 per element, so the mask statistically
+// hides every partial sum.
+//
+// Two deployments reproduce Figure 9: the EActors variant (one party
+// eactor per enclave, encrypted channels, one worker each) and the
+// SGX-SDK-style variant (a single thread ECalls into one enclave after
+// another). Their throughput difference across vector sizes and party
+// counts is what Figures 12 and 13 plot.
+package smc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// Work factors for the "dynamically computed vectors" case (Section
+// 6.3.2). The paper applies an unspecified additional workload in which
+// each party updates its secret after every completed sum; we model it
+// as a fixed per-update cost plus a per-element cost, on top of the
+// genuine LCG arithmetic below.
+const (
+	// SecretUpdateBaseCycles is the fixed portion of one secret update.
+	SecretUpdateBaseCycles = 6000
+	// SecretUpdateCyclesPerElem is the per-element portion.
+	SecretUpdateCyclesPerElem = 30
+)
+
+// lcg constants (Numerical Recipes) for the deterministic secret update.
+const (
+	lcgMul = 1664525
+	lcgAdd = 1013904223
+)
+
+// maskVector computes dst = secret + rnd (element-wise, mod 2^32).
+func maskVector(dst, secret, rnd []uint32) {
+	for i := range dst {
+		dst[i] = secret[i] + rnd[i]
+	}
+}
+
+// addSecret computes m += secret (element-wise, mod 2^32).
+func addSecret(m, secret []uint32) {
+	for i := range m {
+		m[i] += secret[i]
+	}
+}
+
+// unmask computes sum = m - rnd (element-wise, mod 2^32).
+func unmask(sum, m, rnd []uint32) {
+	for i := range sum {
+		sum[i] = m[i] - rnd[i]
+	}
+}
+
+// updateSecret advances every element through an LCG and charges the
+// modeled dynamic-workload cost (case #2 of the evaluation).
+func updateSecret(secret []uint32, costs *sgx.CostModel) {
+	for i := range secret {
+		secret[i] = secret[i]*lcgMul + lcgAdd
+	}
+	costs.ChargeCycles(SecretUpdateBaseCycles + SecretUpdateCyclesPerElem*float64(len(secret)))
+}
+
+// encodeVector serialises v little-endian into dst (must hold 4*len(v)).
+func encodeVector(dst []byte, v []uint32) {
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(dst[4*i:], x)
+	}
+}
+
+// decodeVector deserialises into v from src.
+func decodeVector(v []uint32, src []byte) error {
+	if len(src) < 4*len(v) {
+		return fmt.Errorf("smc: vector payload %d bytes, need %d", len(src), 4*len(v))
+	}
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint32(src[4*i:])
+	}
+	return nil
+}
+
+// initialSecret builds party p's deterministic starting secret, so tests
+// and both deployments can compute the expected sum independently.
+func initialSecret(party, dim int) []uint32 {
+	s := make([]uint32, dim)
+	for j := range s {
+		s[j] = uint32(party*1_000_003 + j*97 + 1)
+	}
+	return s
+}
+
+// ExpectedSum returns the element-wise mod-2^32 sum the protocol must
+// produce after `rounds` completed sums with (or without) dynamic
+// updates. Round r uses the secrets as updated r times.
+func ExpectedSum(parties, dim, rounds int, dynamic bool) []uint32 {
+	secrets := make([][]uint32, parties)
+	for p := range secrets {
+		secrets[p] = initialSecret(p, dim)
+	}
+	if dynamic {
+		// Each completed round updates every secret once; round N uses
+		// secrets updated N-1 times.
+		for r := 1; r < rounds; r++ {
+			for p := range secrets {
+				for j := range secrets[p] {
+					secrets[p][j] = secrets[p][j]*lcgMul + lcgAdd
+				}
+			}
+		}
+	}
+	sum := make([]uint32, dim)
+	for _, s := range secrets {
+		for j := range sum {
+			sum[j] += s[j]
+		}
+	}
+	return sum
+}
+
+// Options configures either deployment.
+type Options struct {
+	// Parties is the ring size K (>= 2; the paper sweeps 3..8).
+	Parties int
+	// Dim is the secret vector length.
+	Dim int
+	// Dynamic enables the case-#2 per-round secret recomputation.
+	Dynamic bool
+	// Platform supplies the SGX simulation; nil creates a default one.
+	Platform *sgx.Platform
+}
+
+func (o *Options) normalise() error {
+	if o.Parties < 2 {
+		return fmt.Errorf("smc: need at least 2 parties, got %d", o.Parties)
+	}
+	if o.Dim < 1 {
+		return fmt.Errorf("smc: vector dimension %d", o.Dim)
+	}
+	if o.Platform == nil {
+		o.Platform = sgx.NewPlatform()
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package smc
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// SDKService is the SGX-SDK-style deployment of the secure-sum protocol
+// (Figure 9b): each party is an enclave, but a single thread executes
+// the whole ring by ECalling into one enclave after another, carrying
+// the encrypted message through untrusted memory. Transitions are
+// "efficient" per the paper — no marshalling copy depends on the vector
+// size — so the per-round overhead relative to EActors is exactly the
+// K+1 call round trips.
+type SDKService struct {
+	opts     Options
+	platform *sgx.Platform
+	ctx      *sgx.Context
+	parties  []*sdkParty
+	wire     []byte // the encrypted message in untrusted memory
+	rounds   uint64
+
+	// stageTime accumulates the in-enclave time of each protocol stage:
+	// index 0 is P1's mask stage, 1..K-1 the inner additions, K is P1's
+	// unmask stage. The benchmark harness composes these into the
+	// pipelined EActors throughput model (see bench.FigSMC): on a
+	// many-core host the EActors ring overlaps stages across rounds, so
+	// its ideal throughput is the reciprocal of the slowest party's
+	// per-round work — something a single-core CI host cannot exhibit in
+	// wall-clock time but the paper's 8-thread machine does.
+	stageTime []time.Duration
+}
+
+// sdkParty is one enclave of the SDK deployment with its link ciphers.
+type sdkParty struct {
+	enclave *sgx.Enclave
+	secret  []uint32
+	rnd     []uint32 // first party only
+	m       []uint32
+	plain   []byte
+	// recv decrypts messages from the previous ring hop; send encrypts
+	// to the next. Keys come from pairwise local attestation.
+	recv, send *ecrypto.Cipher
+}
+
+// NewSDK creates the enclaves, attests the ring links and returns a
+// ready service. Call Round for each secure-sum invocation.
+func NewSDK(opts Options) (*SDKService, error) {
+	if err := opts.normalise(); err != nil {
+		return nil, err
+	}
+	k := opts.Parties
+	svc := &SDKService{
+		opts:      opts,
+		platform:  opts.Platform,
+		ctx:       sgx.NewContext(opts.Platform),
+		parties:   make([]*sdkParty, k),
+		wire:      make([]byte, 0, 4*opts.Dim+ecrypto.Overhead),
+		stageTime: make([]time.Duration, k+1),
+	}
+	for p := 0; p < k; p++ {
+		e, err := opts.Platform.CreateEnclave(fmt.Sprintf("smc-sdk-%d", p), core500KiB)
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		sp := &sdkParty{
+			enclave: e,
+			secret:  initialSecret(p, opts.Dim),
+			m:       make([]uint32, opts.Dim),
+			plain:   make([]byte, 4*opts.Dim),
+		}
+		if p == 0 {
+			sp.rnd = make([]uint32, opts.Dim)
+		}
+		svc.parties[p] = sp
+	}
+	// Pairwise ring keys via local attestation, like the EActors
+	// channels get.
+	for p := 0; p < k; p++ {
+		next := (p + 1) % k
+		key, err := sgx.EstablishSessionKey(svc.parties[p].enclave, svc.parties[next].enclave)
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		send, err := ecrypto.NewCipher(key, 0)
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		recv, err := ecrypto.NewCipher(key, 1)
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		svc.parties[p].send = send
+		svc.parties[next].recv = recv
+	}
+	return svc, nil
+}
+
+// core500KiB matches the paper's reported per-enclave footprint.
+const core500KiB = 500 * 1024
+
+// Round executes one secure-sum invocation and returns the sum vector.
+func (s *SDKService) Round() ([]uint32, error) {
+	k := s.opts.Parties
+	costs := s.platform.Costs()
+
+	// ECall into P1: generate the mask, build and encrypt m1. The
+	// in/out buffers are nil: the SDK variant shares the encrypted
+	// buffer in untrusted memory rather than marshalling it.
+	p0 := s.parties[0]
+	var roundErr error
+	err := s.ctx.ECall(p0.enclave, nil, nil, func() {
+		start := time.Now()
+		p0.enclave.ReadRandUint32s(p0.rnd)
+		maskVector(p0.m, p0.secret, p0.rnd)
+		encodeVector(p0.plain, p0.m)
+		s.wire = p0.send.Seal(s.wire[:0], p0.plain, nil)
+		if s.opts.Dynamic {
+			updateSecret(p0.secret, costs)
+		}
+		s.stageTime[0] += time.Since(start)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ECall into each inner party in ring order.
+	for i := 1; i < k; i++ {
+		p := s.parties[i]
+		err := s.ctx.ECall(p.enclave, nil, nil, func() {
+			start := time.Now()
+			defer func() { s.stageTime[i] += time.Since(start) }()
+			plain, err := p.recv.Open(p.plain[:0], s.wire, nil)
+			if err != nil {
+				roundErr = fmt.Errorf("smc: party %d decrypt: %w", i, err)
+				return
+			}
+			if err := decodeVector(p.m, plain); err != nil {
+				roundErr = err
+				return
+			}
+			addSecret(p.m, p.secret)
+			encodeVector(p.plain, p.m)
+			s.wire = p.send.Seal(s.wire[:0], p.plain, nil)
+			if s.opts.Dynamic {
+				updateSecret(p.secret, costs)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if roundErr != nil {
+			return nil, roundErr
+		}
+	}
+
+	// Final ECall into P1: decrypt mK and unmask the sum.
+	sum := make([]uint32, s.opts.Dim)
+	err = s.ctx.ECall(p0.enclave, nil, nil, func() {
+		start := time.Now()
+		defer func() { s.stageTime[k] += time.Since(start) }()
+		plain, err := p0.recv.Open(p0.plain[:0], s.wire, nil)
+		if err != nil {
+			roundErr = fmt.Errorf("smc: final decrypt: %w", err)
+			return
+		}
+		if err := decodeVector(p0.m, plain); err != nil {
+			roundErr = err
+			return
+		}
+		unmask(sum, p0.m, p0.rnd)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if roundErr != nil {
+		return nil, roundErr
+	}
+	s.rounds++
+	return sum, nil
+}
+
+// Rounds returns the number of completed invocations.
+func (s *SDKService) Rounds() uint64 { return s.rounds }
+
+// ModelHopCycles is the per-hop channel cost the pipeline model adds to
+// each party's stage work: dequeue/enqueue on the mboxes plus the
+// polling latency of a dedicated spinning worker. The value (~2 µs at
+// 3.4 GHz) is what the paper's own numbers imply for the EActors ring
+// (EA/3 at dim=1 completes a round in ~5.3 µs, of which the crypto
+// stages account for roughly half).
+const ModelHopCycles = 6800
+
+// PipelinedRoundTime returns the modelled per-round time of an ideally
+// pipelined EActors ring built from the measured stage times: party P1
+// performs both the mask and the unmask stage of (different) in-flight
+// rounds, inner parties one addition each; every party additionally
+// pays one channel hop (ModelHopCycles). With one core per party the
+// ring's throughput is bounded by its slowest party. A single-core CI
+// host cannot exhibit this pipelining in wall-clock time — the model
+// restores exactly the parallelism the paper's 8-thread machine has,
+// and nothing else.
+func (s *SDKService) PipelinedRoundTime() time.Duration {
+	if s.rounds == 0 {
+		return 0
+	}
+	k := s.opts.Parties
+	bottleneck := (s.stageTime[0] + s.stageTime[k]) / time.Duration(s.rounds)
+	for i := 1; i < k; i++ {
+		if t := s.stageTime[i] / time.Duration(s.rounds); t > bottleneck {
+			bottleneck = t
+		}
+	}
+	return bottleneck + s.platform.Costs().CyclesToDuration(ModelHopCycles)
+}
+
+// Close destroys the enclaves.
+func (s *SDKService) Close() {
+	for _, p := range s.parties {
+		if p != nil && p.enclave != nil {
+			s.platform.DestroyEnclave(p.enclave)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package storeactors provides a file-storage system eactor, the
+// extension the paper sketches in Section 4.1: "If a common file system
+// storage is required, EActors can be extended similarly to the
+// networking support by implementing dedicated untrusted eactors that
+// execute the necessary system calls."
+//
+// A FILER eactor runs untrusted, owns a table of open files, and serves
+// open/read/write/sync/close requests arriving over ordinary channels —
+// so enclaved eactors can persist sealed state without ever issuing a
+// system call themselves.
+package storeactors
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/eactors/eactors-go/internal/core"
+)
+
+// OpType discriminates filer protocol messages.
+type OpType uint8
+
+// Filer protocol message types.
+const (
+	// OpOpen opens a file; Data is the path, Arg the Mode.
+	OpOpen OpType = iota + 1
+	// OpRead reads up to Arg bytes at the current offset; answered by
+	// OpData (possibly short) or OpEOF.
+	OpRead
+	// OpWrite appends/writes Data at the current offset.
+	OpWrite
+	// OpSync flushes the file to stable storage.
+	OpSync
+	// OpClose closes the handle.
+	OpClose
+	// OpOK acknowledges Open (returning the handle), Write, Sync, Close.
+	OpOK
+	// OpData carries read payloads.
+	OpData
+	// OpEOF reports end of file for a read.
+	OpEOF
+	// OpErr reports a failed operation; Data is the error text.
+	OpErr
+)
+
+// Mode values for OpOpen's Arg.
+const (
+	// ModeRead opens an existing file read-only.
+	ModeRead = 0
+	// ModeCreate truncates/creates for writing.
+	ModeCreate = 1
+	// ModeAppend opens for appending, creating if needed.
+	ModeAppend = 2
+)
+
+const msgHeader = 1 + 4 + 4 + 2 // type + handle + arg + dataLen
+
+// Msg is one filer protocol message.
+type Msg struct {
+	Type   OpType
+	Handle uint32
+	Arg    uint32
+	Data   []byte
+}
+
+// ErrShortMsg reports a truncated encoding.
+var ErrShortMsg = errors.New("storeactors: short message")
+
+// MaxData returns the largest Data payload fitting a node of the given
+// capacity.
+func MaxData(nodeCapacity int) int { return nodeCapacity - msgHeader }
+
+// AppendTo encodes m at the end of buf.
+func (m Msg) AppendTo(buf []byte) ([]byte, error) {
+	if len(m.Data) > 0xFFFF {
+		return nil, fmt.Errorf("storeactors: data %d exceeds frame limit", len(m.Data))
+	}
+	var hdr [msgHeader]byte
+	hdr[0] = byte(m.Type)
+	binary.LittleEndian.PutUint32(hdr[1:], m.Handle)
+	binary.LittleEndian.PutUint32(hdr[5:], m.Arg)
+	binary.LittleEndian.PutUint16(hdr[9:], uint16(len(m.Data)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, m.Data...), nil
+}
+
+// ParseMsg decodes one message; Data aliases b.
+func ParseMsg(b []byte) (Msg, error) {
+	if len(b) < msgHeader {
+		return Msg{}, ErrShortMsg
+	}
+	n := int(binary.LittleEndian.Uint16(b[9:]))
+	if len(b) < msgHeader+n {
+		return Msg{}, ErrShortMsg
+	}
+	return Msg{
+		Type:   OpType(b[0]),
+		Handle: binary.LittleEndian.Uint32(b[1:]),
+		Arg:    binary.LittleEndian.Uint32(b[5:]),
+		Data:   b[msgHeader : msgHeader+n],
+	}, nil
+}
+
+// Table holds the filer's open files.
+type Table struct {
+	mu    sync.Mutex
+	next  uint32
+	files map[uint32]*os.File
+}
+
+// NewTable creates an empty file table.
+func NewTable() *Table {
+	return &Table{files: make(map[uint32]*os.File)}
+}
+
+func (t *Table) add(f *os.File) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	t.files[t.next] = f
+	return t.next
+}
+
+func (t *Table) get(h uint32) (*os.File, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.files[h]
+	return f, ok
+}
+
+func (t *Table) remove(h uint32) (*os.File, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.files[h]
+	delete(t.files, h)
+	return f, ok
+}
+
+// CloseAll closes every open file (shutdown path).
+func (t *Table) CloseAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for h, f := range t.files {
+		_ = f.Close()
+		delete(t.files, h)
+	}
+}
+
+// Len returns the number of open files.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.files)
+}
+
+// System owns the file table and builds FILER specs.
+type System struct {
+	table *Table
+	// Root, when non-empty, confines all paths beneath this directory
+	// (the untrusted filer should not let a compromised enclave roam
+	// the host filesystem).
+	Root string
+}
+
+// NewSystem creates a storage system. root confines paths ("" = no
+// confinement).
+func NewSystem(root string) *System {
+	return &System{table: NewTable(), Root: root}
+}
+
+// Table exposes the file table.
+func (s *System) Table() *Table { return s.table }
+
+// Shutdown closes all files; call after the runtime stopped.
+func (s *System) Shutdown() { s.table.CloseAll() }
+
+func (s *System) resolve(path string) (string, error) {
+	if s.Root == "" {
+		return path, nil
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] == '.' && path[i+1] == '.' {
+			return "", fmt.Errorf("storeactors: path %q escapes the root", path)
+		}
+	}
+	if len(path) > 0 && path[0] == '/' {
+		return "", fmt.Errorf("storeactors: absolute path %q not allowed under a root", path)
+	}
+	return s.Root + "/" + path, nil
+}
+
+// FilerSpec builds the FILER eactor serving the named channels. It must
+// be deployed untrusted.
+func (s *System) FilerSpec(name string, worker int, channels ...string) core.Spec {
+	var eps []*core.Endpoint
+	var scratch []byte
+	recvBuf := make([]byte, core.DefaultNodePayload)
+	readBuf := make([]byte, core.DefaultNodePayload)
+	return core.Spec{
+		Name:   name,
+		Worker: worker,
+		Init: func(self *core.Self) error {
+			for _, ch := range channels {
+				ep, err := self.Channel(ch)
+				if err != nil {
+					return err
+				}
+				eps = append(eps, ep)
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			for _, ep := range eps {
+				for i := 0; i < 16; i++ {
+					n, ok, err := ep.Recv(recvBuf)
+					if err != nil || !ok {
+						break
+					}
+					msg, err := ParseMsg(recvBuf[:n])
+					if err != nil {
+						continue
+					}
+					self.Progress()
+					s.serve(ep, msg, &scratch, readBuf)
+				}
+			}
+		},
+	}
+}
+
+// reply sends one message, best effort (a full channel drops the reply;
+// requesters treat the filer as at-least-once and may retry).
+func reply(ep *core.Endpoint, m Msg, scratch *[]byte) {
+	buf, err := m.AppendTo((*scratch)[:0])
+	if err != nil {
+		return
+	}
+	*scratch = buf
+	_ = ep.Send(buf)
+}
+
+func (s *System) serve(ep *core.Endpoint, msg Msg, scratch *[]byte, readBuf []byte) {
+	fail := func(handle uint32, err error) {
+		reply(ep, Msg{Type: OpErr, Handle: handle, Data: []byte(err.Error())}, scratch)
+	}
+	switch msg.Type {
+	case OpOpen:
+		path, err := s.resolve(string(msg.Data))
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		var f *os.File
+		switch msg.Arg {
+		case ModeRead:
+			f, err = os.Open(path)
+		case ModeCreate:
+			f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		case ModeAppend:
+			f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+		default:
+			err = fmt.Errorf("storeactors: unknown open mode %d", msg.Arg)
+		}
+		if err != nil {
+			fail(0, err)
+			return
+		}
+		reply(ep, Msg{Type: OpOK, Handle: s.table.add(f)}, scratch)
+	case OpRead:
+		f, ok := s.table.get(msg.Handle)
+		if !ok {
+			fail(msg.Handle, errUnknownHandle)
+			return
+		}
+		want := int(msg.Arg)
+		if max := MaxData(ep.MaxPayload()); want > max || want == 0 {
+			want = max
+		}
+		n, err := f.Read(readBuf[:want])
+		if n > 0 {
+			reply(ep, Msg{Type: OpData, Handle: msg.Handle, Data: readBuf[:n]}, scratch)
+			return
+		}
+		if err == io.EOF {
+			reply(ep, Msg{Type: OpEOF, Handle: msg.Handle}, scratch)
+			return
+		}
+		if err != nil {
+			fail(msg.Handle, err)
+		}
+	case OpWrite:
+		f, ok := s.table.get(msg.Handle)
+		if !ok {
+			fail(msg.Handle, errUnknownHandle)
+			return
+		}
+		if _, err := f.Write(msg.Data); err != nil {
+			fail(msg.Handle, err)
+			return
+		}
+		reply(ep, Msg{Type: OpOK, Handle: msg.Handle}, scratch)
+	case OpSync:
+		f, ok := s.table.get(msg.Handle)
+		if !ok {
+			fail(msg.Handle, errUnknownHandle)
+			return
+		}
+		if err := f.Sync(); err != nil {
+			fail(msg.Handle, err)
+			return
+		}
+		reply(ep, Msg{Type: OpOK, Handle: msg.Handle}, scratch)
+	case OpClose:
+		f, ok := s.table.remove(msg.Handle)
+		if !ok {
+			fail(msg.Handle, errUnknownHandle)
+			return
+		}
+		if err := f.Close(); err != nil {
+			fail(msg.Handle, err)
+			return
+		}
+		reply(ep, Msg{Type: OpOK, Handle: msg.Handle}, scratch)
+	}
+}
+
+var errUnknownHandle = errors.New("storeactors: unknown file handle")

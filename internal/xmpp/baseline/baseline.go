@@ -1,0 +1,412 @@
+// Package baseline implements the two comparison servers of the paper's
+// messaging evaluation (Section 6.4): JabberD2 2.3.4 and ejabberd 16.01.
+//
+// Neither can be run verbatim here (one is a C multi-process daemon, the
+// other an Erlang release), so each is substituted by a Go server that
+// speaks the same XMPP subset and reproduces the architectural property
+// that dominates its measured behaviour:
+//
+//   - JabberD2Kind routes every stanza through a single router goroutine
+//     that re-parses it — the c2s→router→sm pipeline of JabberD2, whose
+//     serialisation (plus per-hop re-parsing) is what caps its
+//     throughput. An optional SSL mode charges per-byte stream-cipher
+//     work like the paper's SSL-enabled group-chat runs (Figure 15).
+//   - EjabberdKind handles each connection in its own goroutine (Erlang
+//     process analogue) with a per-stanza interpreter work factor; its
+//     throughput is bounded by that constant, which the paper's numbers
+//     place below JabberD2's.
+//
+// The work-factor constants are calibrated against the ratios the paper
+// reports (EA/3 1.81x JBD2 at saturation, 2.42x EJB at 600 clients);
+// EXPERIMENTS.md records the calibration.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/xmpp"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+// Kind selects which baseline architecture to run.
+type Kind int
+
+// Baseline kinds.
+const (
+	// JabberD2Kind models JabberD2 2.3.4 (C, multi-process router).
+	JabberD2Kind Kind = iota + 1
+	// EjabberdKind models ejabberd 16.01 (Erlang, process per socket).
+	EjabberdKind
+)
+
+// Modeled work factors, in cycles at the paper's 3.4 GHz (converted with
+// the same clock the SGX cost model uses). Each baseline's ceiling is
+// set by a serialised architectural bottleneck -- JabberD2 funnels every
+// stanza through its router/sm processes (IPC plus double
+// parse/serialise), ejabberd interprets its xmpp codec and mnesia
+// routing on the BEAM -- and the constants are calibrated empirically so
+// the measured EA/3-to-baseline throughput ratios land near the paper's
+// (EA/3 1.81x JBD2 at saturation, 2.42x EJB at 600 clients). The charge
+// shares the CPU with the substrate's genuine work, so the constants are
+// smaller than the end-to-end per-stanza costs they stand for; WorkScale
+// re-calibrates on a different host. EXPERIMENTS.md records the
+// calibration run.
+const (
+	// JBD2RouterCycles is charged in the router goroutine per stanza:
+	// the c2s -> router -> sm IPC and re-serialisation path.
+	JBD2RouterCycles = 95_000 // ~28us
+	// JBD2SSLCyclesPerByte is charged per payload byte when SSL mode is
+	// on (AES-CBC+HMAC stream work in 2016-era OpenSSL).
+	JBD2SSLCyclesPerByte = 18
+	// EjabberdStanzaCycles is charged per stanza in the connection
+	// process: BEAM interpretation of the xmpp codec and routing logic.
+	EjabberdStanzaCycles = 137_000 // ~40us
+)
+
+// cyclesToDuration converts modeled cycles at the paper's clock.
+func cyclesToDuration(cycles float64) time.Duration {
+	return time.Duration(cycles / sgx.DefaultFrequencyGHz)
+}
+
+// Options configures a baseline server.
+type Options struct {
+	Kind       Kind
+	ListenAddr string // default 127.0.0.1:0
+	// SSL enables the per-byte stream-crypto charge (JabberD2 group-chat
+	// configuration of Figure 15).
+	SSL bool
+	// WorkScale scales the modeled work factors (1.0 = calibrated).
+	WorkScale float64
+}
+
+// Stats mirrors the EActors service counters.
+type Stats struct {
+	Connections  uint64
+	Routed       uint64
+	GroupFanout  uint64
+	AuthFailures uint64
+}
+
+type userEntry struct {
+	conn    net.Conn
+	writeMu *sync.Mutex
+	keyHex  string
+}
+
+// routed stanzas carry their session context through the router.
+type routerItem struct {
+	raw    []byte
+	from   string
+	keyHex string
+}
+
+// Server is a running baseline XMPP server.
+type Server struct {
+	kind      Kind
+	ssl       bool
+	workScale float64
+
+	lis      net.Listener
+	online   sync.Map // user -> *userEntry
+	rooms    sync.Map // room -> *sync.Map (user -> bool)
+	allConns sync.Map // net.Conn -> bool, for shutdown
+
+	router chan routerItem
+	wg     sync.WaitGroup // accept + router loops
+	connWg sync.WaitGroup // connection handlers
+	closed atomic.Bool
+
+	conns    atomic.Uint64
+	routedN  atomic.Uint64
+	fanout   atomic.Uint64
+	authFail atomic.Uint64
+}
+
+// Start launches a baseline server.
+func Start(opts Options) (*Server, error) {
+	if opts.Kind != JabberD2Kind && opts.Kind != EjabberdKind {
+		return nil, errors.New("baseline: unknown kind")
+	}
+	if opts.ListenAddr == "" {
+		opts.ListenAddr = "127.0.0.1:0"
+	}
+	if opts.WorkScale == 0 {
+		opts.WorkScale = 1.0
+	}
+	lis, err := net.Listen("tcp", opts.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: listen: %w", err)
+	}
+	s := &Server{
+		kind:      opts.Kind,
+		ssl:       opts.SSL,
+		workScale: opts.WorkScale,
+		lis:       lis,
+	}
+	if s.kind == JabberD2Kind {
+		s.router = make(chan routerItem, 1024)
+		s.wg.Add(1)
+		go s.routerLoop()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Stats returns a counter snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Connections:  s.conns.Load(),
+		Routed:       s.routedN.Load(),
+		GroupFanout:  s.fanout.Load(),
+		AuthFailures: s.authFail.Load(),
+	}
+}
+
+// Stop closes the listener and all connections, then drains the router.
+func (s *Server) Stop() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	_ = s.lis.Close()
+	s.allConns.Range(func(k, _ any) bool {
+		_ = k.(net.Conn).Close()
+		return true
+	})
+	s.connWg.Wait()
+	if s.router != nil {
+		close(s.router)
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) charge(cycles float64) {
+	sgx.Spin(cyclesToDuration(cycles * s.workScale))
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.allConns.Store(conn, true)
+		s.connWg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// write sends bytes to a user's socket under its write lock, charging
+// SSL work when configured.
+func (s *Server) write(e *userEntry, data []byte) {
+	if s.ssl {
+		s.charge(float64(len(data)) * JBD2SSLCyclesPerByte)
+	}
+	e.writeMu.Lock()
+	_ = e.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, _ = e.conn.Write(data)
+	e.writeMu.Unlock()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWg.Done()
+	defer s.allConns.Delete(conn)
+	defer conn.Close()
+
+	var sc stanza.Scanner
+	buf := make([]byte, 4096)
+	var user, keyHex string
+	entry := &userEntry{conn: conn, writeMu: &sync.Mutex{}}
+	sawHdr := false
+	authed := false
+
+	defer func() {
+		if authed {
+			s.online.Delete(user)
+			s.rooms.Range(func(_, v any) bool {
+				v.(*sync.Map).Delete(user)
+				return true
+			})
+		}
+	}()
+
+	for {
+		el, ok, err := sc.Next()
+		if err != nil {
+			return
+		}
+		if !ok {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			if s.ssl {
+				s.charge(float64(n) * JBD2SSLCyclesPerByte)
+			}
+			sc.Feed(buf[:n])
+			continue
+		}
+
+		switch {
+		case el.Kind == stanza.KindStreamEnd:
+			return
+		case el.Kind == stanza.KindStreamStart:
+			if sawHdr {
+				return
+			}
+			sawHdr = true
+			s.write(entry, []byte(stanza.StreamHeader("baseline.chat", el.Attr("from"))))
+		case el.Name == "auth":
+			if !sawHdr || el.Attr("user") == "" {
+				s.authFail.Add(1)
+				s.write(entry, []byte(stanza.AuthFailure))
+				return
+			}
+			user = el.Attr("user")
+			keyHex = el.Attr("key")
+			entry.keyHex = keyHex
+			s.online.Store(user, entry)
+			authed = true
+			s.conns.Add(1)
+			s.write(entry, []byte(stanza.AuthSuccess))
+		case !authed:
+			s.authFail.Add(1)
+			return
+		case el.Name == "presence":
+			s.handlePresence(user, &el)
+		case el.Name == "message":
+			raw := append([]byte(nil), el.Raw...)
+			switch s.kind {
+			case JabberD2Kind:
+				// All stanzas funnel through the router process; a full
+				// queue applies backpressure, like the real router's
+				// socket between c2s and sm.
+				s.router <- routerItem{raw: raw, from: user, keyHex: keyHex}
+			case EjabberdKind:
+				// Per-stanza interpreter work in the connection process.
+				s.charge(EjabberdStanzaCycles)
+				s.route(raw, user, keyHex)
+			}
+		}
+	}
+}
+
+// routerLoop is JabberD2's router/sm process: every stanza is re-parsed
+// (genuine work, as the real router deserialises the c2s packet) and
+// charged the serialisation factor, strictly in order.
+func (s *Server) routerLoop() {
+	defer s.wg.Done()
+	for item := range s.router {
+		s.charge(JBD2RouterCycles)
+		s.route(item.raw, item.from, item.keyHex)
+	}
+}
+
+// route parses and delivers one message stanza.
+func (s *Server) route(raw []byte, from, keyHex string) {
+	var sc stanza.Scanner
+	sc.Feed(raw)
+	el, ok, err := sc.Next()
+	if err != nil || !ok || el.Name != "message" {
+		return
+	}
+	if el.Attr("type") == "groupchat" {
+		s.routeGroup(&el, from, keyHex)
+		return
+	}
+	target, ok := s.lookup(el.Attr("to"))
+	if !ok {
+		return
+	}
+	frame := raw
+	if el.Attr("from") != from {
+		frame = []byte(stanza.Message(from, el.Attr("to"), el.Body()))
+	}
+	s.write(target, frame)
+	s.routedN.Add(1)
+}
+
+func (s *Server) lookup(user string) (*userEntry, bool) {
+	v, ok := s.online.Load(user)
+	if !ok {
+		return nil, false
+	}
+	return v.(*userEntry), true
+}
+
+func (s *Server) handlePresence(user string, el *stanza.Stanza) {
+	to := el.Attr("to")
+	if to == "" {
+		return
+	}
+	room := to
+	for i := 0; i < len(to); i++ {
+		if to[i] == '/' {
+			room = to[:i]
+			break
+		}
+	}
+	membersAny, _ := s.rooms.LoadOrStore(room, &sync.Map{})
+	members := membersAny.(*sync.Map)
+	if el.Attr("type") == "unavailable" {
+		members.Delete(user)
+	} else {
+		members.Store(user, true)
+	}
+}
+
+// routeGroup mirrors the EActors service's group semantics (decrypt the
+// sender's sealed body, re-encrypt per member) so both systems do the
+// same cryptographic work in the Figure 15 comparison.
+func (s *Server) routeGroup(el *stanza.Stanza, from, keyHex string) {
+	room := el.Attr("to")
+	membersAny, ok := s.rooms.Load(room)
+	if !ok {
+		return
+	}
+	senderCipher, err := xmpp.ServerBodyCipher(keyHex)
+	if err != nil {
+		return
+	}
+	body, err := xmpp.OpenBodyWith(senderCipher, el.Body())
+	if err != nil {
+		return
+	}
+	membersAny.(*sync.Map).Range(func(k, _ any) bool {
+		member := k.(string)
+		if member == from {
+			return true
+		}
+		entry, ok := s.lookup(member)
+		if !ok {
+			return true
+		}
+		// Every delivery is one more pass through the architectural
+		// bottleneck: jabberd2 routes each MUC copy through router/sm,
+		// ejabberd routes each copy through the BEAM.
+		switch s.kind {
+		case JabberD2Kind:
+			s.charge(JBD2RouterCycles)
+		case EjabberdKind:
+			s.charge(EjabberdStanzaCycles)
+		}
+		memberCipher, err := xmpp.ServerBodyCipher(entry.keyHex)
+		if err != nil {
+			return true
+		}
+		sealed := xmpp.SealBodyWith(memberCipher, body)
+		s.write(entry, []byte(stanza.GroupMessage(from, room, sealed)))
+		s.fanout.Add(1)
+		return true
+	})
+}

@@ -1,0 +1,258 @@
+// Package client implements an XMPP client for the EActors messaging
+// service and its baselines — the role libstrophe plays in the paper's
+// evaluation (Section 6.4): it connects, authenticates, exchanges chat
+// and group-chat messages, and is driven by the benchmark harness.
+package client
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/xmpp"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+// Client is one connected XMPP user.
+type Client struct {
+	conn    net.Conn
+	user    string
+	scanner stanza.Scanner
+	readBuf []byte
+
+	key        [ecrypto.KeySize]byte
+	bodyCipher *ecrypto.Cipher
+	openCipher *ecrypto.Cipher
+}
+
+// Errors returned by the client.
+var (
+	ErrAuthRejected = errors.New("client: authentication rejected")
+	ErrStreamClosed = errors.New("client: server closed the stream")
+)
+
+// Dial connects to addr, opens the stream and authenticates as user.
+func Dial(addr, user string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		user:    user,
+		readBuf: make([]byte, 4096),
+	}
+	if _, err := rand.Read(c.key[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.bodyCipher, err = xmpp.NewClientBodyCipher(c.key)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// The server seals group bodies for us with a server-direction
+	// cipher over the same key.
+	srvCipher, err := ecrypto.NewCipher(c.key, 0xFF) // tag irrelevant for Open
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.openCipher = srvCipher
+
+	deadline := time.Now().Add(timeout)
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write([]byte(stanza.StreamHeader(user, xmpp.ServiceName))); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: stream header: %w", err)
+	}
+	// Server stream header.
+	el, err := c.next()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if el.Kind != stanza.KindStreamStart {
+		conn.Close()
+		return nil, fmt.Errorf("client: expected stream header, got %q", el.Name)
+	}
+	// Authenticate.
+	auth := stanza.Auth(user, hex.EncodeToString(c.key[:]))
+	if _, err := conn.Write([]byte(auth)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: auth: %w", err)
+	}
+	el, err = c.next()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if el.Name != "success" {
+		conn.Close()
+		return nil, ErrAuthRejected
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// User returns the authenticated user name.
+func (c *Client) User() string { return c.user }
+
+// next reads until one complete stream element is available.
+func (c *Client) next() (stanza.Stanza, error) {
+	for {
+		el, ok, err := c.scanner.Next()
+		if err != nil {
+			return stanza.Stanza{}, err
+		}
+		if ok {
+			return el, nil
+		}
+		n, err := c.conn.Read(c.readBuf)
+		if err != nil {
+			return stanza.Stanza{}, err
+		}
+		c.scanner.Feed(c.readBuf[:n])
+	}
+}
+
+// SendMessage sends a one-to-one chat message. The body travels as
+// given; real deployments put their end-to-end ciphertext here.
+func (c *Client) SendMessage(to, body string) error {
+	_, err := c.conn.Write([]byte(stanza.Message(c.user, to, body)))
+	return err
+}
+
+// JoinRoom joins a group chat.
+func (c *Client) JoinRoom(room string) error {
+	_, err := c.conn.Write([]byte(stanza.Presence(c.user, room+"/"+c.user)))
+	return err
+}
+
+// LeaveRoom leaves a group chat.
+func (c *Client) LeaveRoom(room string) error {
+	_, err := c.conn.Write([]byte(fmt.Sprintf(
+		`<presence from=%q to=%q type="unavailable"/>`,
+		stanza.Escape(c.user), stanza.Escape(room+"/"+c.user))))
+	return err
+}
+
+// SendGroupMessage seals body with the client's service key and sends it
+// to the room; the service re-encrypts it per member.
+func (c *Client) SendGroupMessage(room, body string) error {
+	sealed := xmpp.SealBodyWith(c.bodyCipher, body)
+	_, err := c.conn.Write([]byte(stanza.GroupMessage(c.user, room, sealed)))
+	return err
+}
+
+// SendRaw writes raw bytes onto the stream (tests and protocol tools).
+func (c *Client) SendRaw(raw string) error {
+	_, err := c.conn.Write([]byte(raw))
+	return err
+}
+
+// Ping sends an XEP-0199 ping and waits for the service's result.
+func (c *Client) Ping(timeout time.Duration) error {
+	id := fmt.Sprintf("ping-%d", time.Now().UnixNano())
+	iq := fmt.Sprintf(`<iq type="get" id=%q from=%q><ping/></iq>`,
+		stanza.Escape(id), stanza.Escape(c.user))
+	if _, err := c.conn.Write([]byte(iq)); err != nil {
+		return err
+	}
+	_, err := c.awaitIQ(id, timeout)
+	return err
+}
+
+// QueryOnline asks the service whether a user is currently online.
+func (c *Client) QueryOnline(user string, timeout time.Duration) (bool, error) {
+	id := fmt.Sprintf("who-%d", time.Now().UnixNano())
+	iq := fmt.Sprintf(`<iq type="get" id=%q from=%q><who>%s</who></iq>`,
+		stanza.Escape(id), stanza.Escape(c.user), stanza.Escape(user))
+	if _, err := c.conn.Write([]byte(iq)); err != nil {
+		return false, err
+	}
+	el, err := c.awaitIQ(id, timeout)
+	if err != nil {
+		return false, err
+	}
+	return stanza.ChildText(el.Raw, "status") == "online", nil
+}
+
+// awaitIQ reads until the iq result with the given id arrives, skipping
+// unrelated stanzas (messages stay pending in the scanner order; callers
+// interleaving chats and iqs should serialise them).
+func (c *Client) awaitIQ(id string, timeout time.Duration) (stanza.Stanza, error) {
+	if timeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	for {
+		el, err := c.next()
+		if err != nil {
+			return stanza.Stanza{}, err
+		}
+		if el.Kind == stanza.KindStreamEnd {
+			return stanza.Stanza{}, ErrStreamClosed
+		}
+		if el.Kind == stanza.KindStanza && el.Name == "iq" && el.Attr("id") == id {
+			if el.Attr("type") != "result" {
+				return stanza.Stanza{}, fmt.Errorf("client: iq %s answered with type %q", id, el.Attr("type"))
+			}
+			return el, nil
+		}
+	}
+}
+
+// Message is a received chat message.
+type Message struct {
+	From  string
+	To    string
+	Body  string
+	Group bool
+}
+
+// ReadMessage blocks (up to timeout; zero means no deadline) for the
+// next chat or groupchat message, transparently unsealing group bodies.
+func (c *Client) ReadMessage(timeout time.Duration) (Message, error) {
+	if timeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	for {
+		el, err := c.next()
+		if err != nil {
+			return Message{}, err
+		}
+		switch {
+		case el.Kind == stanza.KindStreamEnd:
+			return Message{}, ErrStreamClosed
+		case el.Kind == stanza.KindStanza && el.Name == "message":
+			m := Message{
+				From:  el.Attr("from"),
+				To:    el.Attr("to"),
+				Body:  el.Body(),
+				Group: el.Attr("type") == "groupchat",
+			}
+			if m.Group {
+				body, err := xmpp.OpenBodyWith(c.openCipher, m.Body)
+				if err != nil {
+					return Message{}, fmt.Errorf("client: unseal group body: %w", err)
+				}
+				m.Body = body
+			}
+			return m, nil
+		default:
+			// Ignore presences and other stanzas.
+		}
+	}
+}
+
+// Close ends the stream and closes the connection.
+func (c *Client) Close() error {
+	_, _ = c.conn.Write([]byte(stanza.StreamClose))
+	return c.conn.Close()
+}

@@ -1,0 +1,172 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+// fakeServer runs a scripted XMPP server for client error-path testing.
+// The script function receives the accepted connection.
+func fakeServer(t *testing.T, script func(conn net.Conn)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		script(conn)
+	}()
+	return lis.Addr().String()
+}
+
+// readUntil reads from conn until the buffer contains marker.
+func readUntil(conn net.Conn, marker string) string {
+	var sb strings.Builder
+	buf := make([]byte, 1024)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for !strings.Contains(sb.String(), marker) {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return sb.String()
+		}
+		sb.Write(buf[:n])
+	}
+	return sb.String()
+}
+
+func TestDialRefused(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "u", time.Second); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestDialAuthRejected(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		readUntil(conn, "<stream:stream")
+		_, _ = conn.Write([]byte(stanza.StreamHeader("srv", "u")))
+		readUntil(conn, "<auth")
+		_, _ = conn.Write([]byte(stanza.AuthFailure))
+	})
+	_, err := Dial(addr, "u", 5*time.Second)
+	if err != ErrAuthRejected {
+		t.Fatalf("err = %v, want ErrAuthRejected", err)
+	}
+}
+
+func TestDialBadGreeting(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		readUntil(conn, "<stream:stream")
+		// Reply with a stanza instead of a stream header.
+		_, _ = conn.Write([]byte(`<presence from="srv"/>`))
+	})
+	if _, err := Dial(addr, "u", 5*time.Second); err == nil {
+		t.Fatal("bad greeting accepted")
+	}
+}
+
+func TestDialServerSilent(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		readUntil(conn, "<stream:stream")
+		time.Sleep(10 * time.Second) // never respond
+	})
+	start := time.Now()
+	if _, err := Dial(addr, "u", 500*time.Millisecond); err == nil {
+		t.Fatal("silent server accepted")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Dial did not respect its timeout")
+	}
+}
+
+func TestReadMessageStreamClosed(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		readUntil(conn, "<stream:stream")
+		_, _ = conn.Write([]byte(stanza.StreamHeader("srv", "u")))
+		readUntil(conn, "<auth")
+		_, _ = conn.Write([]byte(stanza.AuthSuccess))
+		// Then close the stream gracefully.
+		_, _ = conn.Write([]byte(stanza.StreamClose))
+	})
+	c, err := Dial(addr, "u", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.ReadMessage(5 * time.Second); err != ErrStreamClosed {
+		t.Fatalf("ReadMessage err = %v, want ErrStreamClosed", err)
+	}
+}
+
+func TestReadMessageSkipsNonMessages(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		readUntil(conn, "<stream:stream")
+		_, _ = conn.Write([]byte(stanza.StreamHeader("srv", "u")))
+		readUntil(conn, "<auth")
+		_, _ = conn.Write([]byte(stanza.AuthSuccess))
+		_, _ = conn.Write([]byte(`<presence from="someone"/>`))
+		_, _ = conn.Write([]byte(stanza.Message("peer", "u", "finally")))
+	})
+	c, err := Dial(addr, "u", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	msg, err := c.ReadMessage(5 * time.Second)
+	if err != nil || msg.Body != "finally" || msg.From != "peer" {
+		t.Fatalf("ReadMessage = %+v, %v", msg, err)
+	}
+	if c.User() != "u" {
+		t.Fatalf("User = %q", c.User())
+	}
+}
+
+func TestReadMessageTimeout(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		readUntil(conn, "<stream:stream")
+		_, _ = conn.Write([]byte(stanza.StreamHeader("srv", "u")))
+		readUntil(conn, "<auth")
+		_, _ = conn.Write([]byte(stanza.AuthSuccess))
+		time.Sleep(10 * time.Second)
+	})
+	c, err := Dial(addr, "u", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.ReadMessage(300 * time.Millisecond); err == nil {
+		t.Fatal("ReadMessage returned without data")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("ReadMessage ignored its timeout")
+	}
+}
+
+func TestGroupBodyTamperRejected(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		readUntil(conn, "<stream:stream")
+		_, _ = conn.Write([]byte(stanza.StreamHeader("srv", "u")))
+		readUntil(conn, "<auth")
+		_, _ = conn.Write([]byte(stanza.AuthSuccess))
+		// A groupchat body that is valid hex but not a valid seal.
+		_, _ = conn.Write([]byte(stanza.GroupMessage("peer", "room", "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdead")))
+	})
+	c, err := Dial(addr, "u", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.ReadMessage(5 * time.Second); err == nil {
+		t.Fatal("forged group body accepted")
+	}
+}

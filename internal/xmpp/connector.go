@@ -1,0 +1,220 @@
+package xmpp
+
+import (
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/netactors"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+// connectorState is the CONNECTOR eactor's private state.
+type connectorState struct {
+	phase    int
+	listener uint32
+	sessions map[uint32]*session
+	// handedOff remembers which shard now owns a socket, so bytes that
+	// raced the reader handover can be forwarded.
+	handedOff map[uint32]int
+	scratch   []byte
+	recvBuf   []byte
+}
+
+const (
+	cphListen = iota
+	cphAwaitListener
+	cphServe
+)
+
+// connectorSpec builds the CONNECTOR eactor (Figure 7): it opens the
+// server socket, accepts clients, runs the stream/auth handshake, then
+// publishes the connection in the Online list and hands it off to the
+// responsible XMPP shard.
+func (srv *Server) connectorSpec(opts Options, worker int, enclave string, shards int, addrCh chan<- string) core.Spec {
+	st := &connectorState{
+		sessions:  make(map[uint32]*session),
+		handedOff: make(map[uint32]int),
+		recvBuf:   make([]byte, 4096),
+	}
+	var (
+		open, accept, read, write, closeCh *core.Endpoint
+		handoff                            []*core.Endpoint
+	)
+	return core.Spec{
+		Name:    "connector",
+		Enclave: enclave,
+		Worker:  worker,
+		State:   st,
+		Init: func(self *core.Self) error {
+			open = self.MustChannel("open")
+			accept = self.MustChannel("c-accept")
+			read = self.MustChannel("c-read")
+			write = self.MustChannel("c-write")
+			closeCh = self.MustChannel("c-close")
+			handoff = make([]*core.Endpoint, shards)
+			for i := 0; i < shards; i++ {
+				handoff[i] = self.MustChannel(fmt.Sprintf("handoff-%d", i))
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			switch st.phase {
+			case cphListen:
+				m, _ := (netactors.Msg{Type: netactors.MsgListen, Data: []byte(opts.ListenAddr)}).AppendTo(st.scratch[:0])
+				st.scratch = m
+				if open.Send(m) == nil {
+					st.phase = cphAwaitListener
+					self.Progress()
+				}
+			case cphAwaitListener:
+				n, ok, err := open.Recv(st.recvBuf)
+				if err != nil || !ok {
+					return
+				}
+				msg, err := netactors.ParseMsg(st.recvBuf[:n])
+				if err != nil || msg.Type != netactors.MsgOpenOK {
+					return
+				}
+				st.listener = msg.Sock
+				addrCh <- string(msg.Data)
+				w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: msg.Sock}).AppendTo(st.scratch[:0])
+				st.scratch = w
+				if accept.Send(w) == nil {
+					st.phase = cphServe
+					self.Progress()
+				}
+			case cphServe:
+				srv.connectorServe(self, st, accept, read, write, closeCh, handoff, shards)
+			}
+		},
+	}
+}
+
+// connectorServe is one serve-phase invocation: accept new sockets,
+// drive handshakes, hand authenticated sessions to their shards.
+func (srv *Server) connectorServe(self *core.Self, st *connectorState,
+	accept, read, write, closeCh *core.Endpoint, handoff []*core.Endpoint, shards int) {
+
+	// New connections.
+	for {
+		n, ok, err := accept.Recv(st.recvBuf)
+		if err != nil || !ok {
+			break
+		}
+		msg, err := netactors.ParseMsg(st.recvBuf[:n])
+		if err != nil || msg.Type != netactors.MsgAccepted {
+			continue
+		}
+		st.sessions[msg.Sock] = &session{sock: msg.Sock}
+		w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: msg.Sock}).AppendTo(st.scratch[:0])
+		st.scratch = w
+		_ = read.Send(w)
+		self.Progress()
+	}
+
+	// Handshake traffic.
+	for i := 0; i < 64; i++ {
+		n, ok, err := read.Recv(st.recvBuf)
+		if err != nil || !ok {
+			break
+		}
+		msg, err := netactors.ParseMsg(st.recvBuf[:n])
+		if err != nil {
+			continue
+		}
+		self.Progress()
+		switch msg.Type {
+		case netactors.MsgClosed:
+			delete(st.sessions, msg.Sock)
+			delete(st.handedOff, msg.Sock)
+		case netactors.MsgData:
+			if shard, ok := st.handedOff[msg.Sock]; ok {
+				// Raced the reader handover: forward to the new owner.
+				_ = handoff[shard].Send(encodeStray(msg.Sock, msg.Data))
+				continue
+			}
+			sess, ok := st.sessions[msg.Sock]
+			if !ok {
+				continue
+			}
+			sess.scanner.Feed(msg.Data)
+			srv.connectorHandshake(self, st, sess, read, write, closeCh, handoff, shards)
+		}
+	}
+}
+
+// connectorHandshake advances one session's handshake as far as its
+// buffered bytes allow.
+func (srv *Server) connectorHandshake(self *core.Self, st *connectorState, sess *session,
+	read, write, closeCh *core.Endpoint, handoff []*core.Endpoint, shards int) {
+
+	fail := func() {
+		srv.authFail.Add(1)
+		srv.sendFrame(write, sess.sock, []byte(stanza.AuthFailure), &st.scratch)
+		// The close travels on the WRITER's channel behind the failure
+		// frame, so the peer sees the rejection before the reset.
+		c, _ := (netactors.Msg{Type: netactors.MsgClose, Sock: sess.sock}).AppendTo(nil)
+		_ = write.Send(c)
+		delete(st.sessions, sess.sock)
+	}
+
+	for {
+		el, ok, err := sess.scanner.Next()
+		if err != nil {
+			fail()
+			return
+		}
+		if !ok {
+			return
+		}
+		switch {
+		case el.Kind == stanza.KindStreamStart:
+			if sess.sawHdr {
+				fail()
+				return
+			}
+			sess.sawHdr = true
+			srv.sendFrame(write, sess.sock, []byte(stanza.StreamHeader(ServiceName, el.Attr("from"))), &st.scratch)
+		case el.Kind == stanza.KindStanza && el.Name == "auth":
+			user := el.Attr("user")
+			key := el.Attr("key")
+			if !sess.sawHdr || user == "" {
+				fail()
+				return
+			}
+			sess.user = user
+			sess.keyHex = key
+			sess.authed = true
+			srv.online.Add(OnlineEntry{User: user, Sock: sess.sock, Key: key})
+			srv.conns.Add(1)
+			srv.sendFrame(write, sess.sock, []byte(stanza.AuthSuccess), &st.scratch)
+
+			// Hand the connection to its shard: release our READER and
+			// transfer any bytes the scanner still buffers.
+			shard := shardOf(user, shards)
+			u, _ := (netactors.Msg{Type: netactors.MsgUnwatch, Sock: sess.sock}).AppendTo(st.scratch[:0])
+			st.scratch = u
+			_ = read.Send(u)
+			leftover := sess.scanner.Remainder()
+			_ = handoff[shard].Send(encodeHandoff(OnlineEntry{User: user, Sock: sess.sock, Key: key}, leftover))
+			delete(st.sessions, sess.sock)
+			st.handedOff[sess.sock] = shard
+			self.Progress()
+			return
+		default:
+			// Anything else before auth is a protocol violation.
+			fail()
+			return
+		}
+	}
+}
+
+// sendFrame wraps bytes in a MsgData frame and sends them to a WRITER.
+func (srv *Server) sendFrame(write *core.Endpoint, sock uint32, data []byte, scratch *[]byte) bool {
+	m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: data}).AppendTo((*scratch)[:0])
+	if err != nil {
+		return false
+	}
+	*scratch = m
+	return write.Send(m) == nil
+}

@@ -1,0 +1,87 @@
+package xmpp_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/pos"
+	"github.com/eactors/eactors-go/internal/xmpp"
+)
+
+func TestPOSDirectoryUnit(t *testing.T) {
+	store, err := pos.Open(pos.Options{SizeBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	d := xmpp.NewPOSDirectory(store)
+
+	if _, ok := d.Get("alice"); ok {
+		t.Fatal("empty directory found a user")
+	}
+	d.Add(xmpp.OnlineEntry{User: "alice", Sock: 7, Key: "cafe"})
+	e, ok := d.Get("alice")
+	if !ok || e.Sock != 7 || e.Key != "cafe" {
+		t.Fatalf("Get = %+v ok=%v", e, ok)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Replace does not double-count.
+	d.Add(xmpp.OnlineEntry{User: "alice", Sock: 8, Key: "cafe"})
+	if d.Len() != 1 {
+		t.Fatalf("Len after replace = %d", d.Len())
+	}
+	e, _ = d.Get("alice")
+	if e.Sock != 8 {
+		t.Fatalf("replace Get = %+v", e)
+	}
+	d.Remove("alice")
+	if d.Len() != 0 {
+		t.Fatalf("Len after remove = %d", d.Len())
+	}
+	d.Remove("alice") // idempotent
+	if d.Len() != 0 {
+		t.Fatalf("Len after double remove = %d", d.Len())
+	}
+}
+
+// TestServerWithPOSDirectory runs the messaging service with its Online
+// list in an encrypted POS, the paper's Section 4.1 deployment.
+func TestServerWithPOSDirectory(t *testing.T) {
+	var key [ecrypto.KeySize]byte
+	copy(key[:], "directory-encryption-key-32-byte")
+	store, err := pos.Open(pos.Options{SizeBytes: 4 << 20, EncryptionKey: &key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	srv := startServer(t, xmpp.Options{
+		Shards:         2,
+		Trusted:        true,
+		EnclaveCount:   2,
+		DirectoryStore: store,
+	})
+
+	alice := dial(t, srv.Addr(), "alice")
+	bob := dial(t, srv.Addr(), "bob")
+	waitFor(t, func() bool { return srv.Online().Len() == 2 }, "both users online in POS")
+
+	if err := alice.SendMessage("bob", "via the pos directory"); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := bob.ReadMessage(10 * time.Second)
+	if err != nil || msg.Body != "via the pos directory" {
+		t.Fatalf("ReadMessage = %+v, %v", msg, err)
+	}
+
+	// The entries live in the store (encrypted at rest).
+	if st := store.Stats(); st.Sets < 2 {
+		t.Fatalf("store Sets = %d, want >= 2", st.Sets)
+	}
+
+	_ = alice.Close()
+	waitFor(t, func() bool { return srv.Online().Len() == 1 }, "alice removed from POS directory")
+}

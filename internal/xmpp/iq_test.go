@@ -1,0 +1,50 @@
+package xmpp_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/xmpp"
+)
+
+func TestIQPing(t *testing.T) {
+	srv := startServer(t, xmpp.Options{Shards: 1, Trusted: true})
+	alice := dial(t, srv.Addr(), "alice")
+	for i := 0; i < 3; i++ {
+		if err := alice.Ping(10 * time.Second); err != nil {
+			t.Fatalf("Ping #%d: %v", i, err)
+		}
+	}
+}
+
+func TestIQQueryOnline(t *testing.T) {
+	srv := startServer(t, xmpp.Options{Shards: 2})
+	alice := dial(t, srv.Addr(), "alice")
+	bob := dial(t, srv.Addr(), "bob")
+	waitFor(t, func() bool { return srv.Online().Len() == 2 }, "both online")
+
+	online, err := alice.QueryOnline("bob", 10*time.Second)
+	if err != nil {
+		t.Fatalf("QueryOnline(bob): %v", err)
+	}
+	if !online {
+		t.Fatal("bob reported offline while connected")
+	}
+	online, err = alice.QueryOnline("carol", 10*time.Second)
+	if err != nil {
+		t.Fatalf("QueryOnline(carol): %v", err)
+	}
+	if online {
+		t.Fatal("carol reported online while absent")
+	}
+
+	_ = bob.Close()
+	waitFor(t, func() bool { return srv.Online().Len() == 1 }, "bob offline")
+	online, err = alice.QueryOnline("bob", 10*time.Second)
+	if err != nil {
+		t.Fatalf("QueryOnline after close: %v", err)
+	}
+	if online {
+		t.Fatal("bob reported online after disconnect")
+	}
+}

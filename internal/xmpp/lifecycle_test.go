@@ -1,0 +1,65 @@
+package xmpp_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/xmpp"
+	"github.com/eactors/eactors-go/internal/xmpp/client"
+)
+
+// TestServerLifecycleDoesNotLeakGoroutines starts and stops the full
+// service (with traffic) several times and checks the goroutine count
+// returns near its baseline — workers, pumps and baseline handlers must
+// all terminate.
+func TestServerLifecycleDoesNotLeakGoroutines(t *testing.T) {
+	runtime.GC()
+	time.Sleep(100 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		srv, err := xmpp.Start(xmpp.Options{
+			Shards:   2,
+			Trusted:  true,
+			Platform: sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := client.Dial(srv.Addr(), "a", 10*time.Second)
+		if err != nil {
+			srv.Stop()
+			t.Fatal(err)
+		}
+		b, err := client.Dial(srv.Addr(), "b", 10*time.Second)
+		if err != nil {
+			srv.Stop()
+			t.Fatal(err)
+		}
+		if err := a.SendMessage("b", "ping"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.ReadMessage(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		_ = a.Close()
+		_ = b.Close()
+		srv.Stop()
+	}
+
+	// Pumps exit asynchronously after their sockets close.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: baseline %d, now %d (leak)", baseline, now)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

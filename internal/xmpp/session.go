@@ -1,0 +1,157 @@
+package xmpp
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+// ServiceName is the JID domain the service answers for.
+const ServiceName = "eactors.chat"
+
+// session is the per-connection state an XMPP or CONNECTOR eactor keeps
+// in its private client list (PCL).
+type session struct {
+	sock    uint32
+	user    string
+	keyHex  string
+	scanner stanza.Scanner
+	authed  bool
+	sawHdr  bool
+
+	// seal/open are the service-level ciphers for group-chat bodies,
+	// created lazily from keyHex.
+	seal *ecrypto.Cipher
+}
+
+// ServerBodyCipher builds a service-side cipher from a client's hex key;
+// the baseline servers share it for their group-chat re-encryption.
+func ServerBodyCipher(keyHex string) (*ecrypto.Cipher, error) {
+	return cipherFromHex(keyHex)
+}
+
+// cipherFromHex builds a service-side cipher from a client's hex key.
+func cipherFromHex(keyHex string) (*ecrypto.Cipher, error) {
+	raw, err := hex.DecodeString(keyHex)
+	if err != nil || len(raw) != ecrypto.KeySize {
+		return nil, fmt.Errorf("xmpp: bad session key (%d hex chars)", len(keyHex))
+	}
+	var key [ecrypto.KeySize]byte
+	copy(key[:], raw)
+	return ecrypto.NewCipher(key, serverDirTag)
+}
+
+// Direction tags for the service-level body crypto: clients and server
+// share per-user keys but must not collide on nonces.
+const (
+	clientDirTag = 4
+	serverDirTag = 5
+)
+
+// SealBodyWith seals a group-chat body with the given cipher, returning
+// hex for XML-safe transport.
+func SealBodyWith(c *ecrypto.Cipher, plaintext string) string {
+	return hex.EncodeToString(c.Seal(nil, []byte(plaintext), nil))
+}
+
+// OpenBodyWith opens a hex-encoded sealed group-chat body.
+func OpenBodyWith(c *ecrypto.Cipher, sealedHex string) (string, error) {
+	raw, err := hex.DecodeString(sealedHex)
+	if err != nil {
+		return "", fmt.Errorf("xmpp: body is not hex: %w", err)
+	}
+	plain, err := c.Open(nil, raw, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(plain), nil
+}
+
+// NewClientBodyCipher builds the client-side cipher for a session key.
+func NewClientBodyCipher(key [ecrypto.KeySize]byte) (*ecrypto.Cipher, error) {
+	return ecrypto.NewCipher(key, clientDirTag)
+}
+
+// Handoff message types on the CONNECTOR→shard channels.
+const (
+	handoffSession = 1 // an authenticated connection changes owner
+	handoffStray   = 2 // bytes that raced the reader handover
+)
+
+var errBadHandoff = errors.New("xmpp: corrupt handoff message")
+
+// encodeHandoff serialises a session handoff: the authenticated user,
+// its socket, its service key and any bytes already buffered beyond the
+// auth exchange.
+func encodeHandoff(e OnlineEntry, leftover []byte) []byte {
+	buf := make([]byte, 0, 12+len(e.User)+len(e.Key)+len(leftover))
+	buf = append(buf, handoffSession)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], e.Sock)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, byte(len(e.User)))
+	buf = append(buf, e.User...)
+	buf = append(buf, byte(len(e.Key)))
+	buf = append(buf, e.Key...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(leftover)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, leftover...)
+	return buf
+}
+
+func decodeHandoff(b []byte) (e OnlineEntry, leftover []byte, err error) {
+	if len(b) < 1 || b[0] != handoffSession {
+		return e, nil, errBadHandoff
+	}
+	b = b[1:]
+	if len(b) < 6 {
+		return e, nil, errBadHandoff
+	}
+	e.Sock = binary.LittleEndian.Uint32(b)
+	ul := int(b[4])
+	if len(b) < 5+ul+1 {
+		return e, nil, errBadHandoff
+	}
+	e.User = string(b[5 : 5+ul])
+	kl := int(b[5+ul])
+	rest := b[5+ul+1:]
+	if len(rest) < kl+2 {
+		return e, nil, errBadHandoff
+	}
+	e.Key = string(rest[:kl])
+	n := int(binary.LittleEndian.Uint16(rest[kl:]))
+	if len(rest) < kl+2+n {
+		return e, nil, errBadHandoff
+	}
+	leftover = append([]byte(nil), rest[kl+2:kl+2+n]...)
+	return e, leftover, nil
+}
+
+// encodeStray serialises bytes that arrived at the CONNECTOR after a
+// session was handed off.
+func encodeStray(sock uint32, data []byte) []byte {
+	buf := make([]byte, 0, 7+len(data))
+	buf = append(buf, handoffStray)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], sock)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(data)))
+	buf = append(buf, tmp[:2]...)
+	return append(buf, data...)
+}
+
+func decodeStray(b []byte) (sock uint32, data []byte, err error) {
+	if len(b) < 7 || b[0] != handoffStray {
+		return 0, nil, errBadHandoff
+	}
+	sock = binary.LittleEndian.Uint32(b[1:])
+	n := int(binary.LittleEndian.Uint16(b[5:]))
+	if len(b) < 7+n {
+		return 0, nil, errBadHandoff
+	}
+	return sock, append([]byte(nil), b[7:7+n]...), nil
+}

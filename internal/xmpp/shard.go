@@ -1,0 +1,357 @@
+package xmpp
+
+import (
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/netactors"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+// pendingWrite is an outbound frame that hit a full write channel.
+type pendingWrite struct {
+	frame []byte
+}
+
+// maxPendingWrites bounds the retry queue before frames are dropped
+// (slow-receiver protection).
+const maxPendingWrites = 4096
+
+// shardState is one XMPP eactor's private state.
+type shardState struct {
+	pcl     map[uint32]*session // the paper's private client list
+	pending []pendingWrite
+	scratch []byte
+	recvBuf []byte
+	// ciphers caches the service-level body ciphers per user key —
+	// "an eactor can store its encryption key in its private state"
+	// (Section 4.1); rebuilding AES-GCM state per fan-out would dominate
+	// the group-chat path.
+	ciphers map[string]*ecrypto.Cipher
+	// roomFwd holds the forward endpoints towards dedicated room shards.
+	roomFwd []*core.Endpoint
+}
+
+// bodyCipher returns the cached server-side cipher for a user key.
+func (st *shardState) bodyCipher(keyHex string) (*ecrypto.Cipher, error) {
+	if c, ok := st.ciphers[keyHex]; ok {
+		return c, nil
+	}
+	c, err := cipherFromHex(keyHex)
+	if err != nil {
+		return nil, err
+	}
+	st.ciphers[keyHex] = c
+	return c, nil
+}
+
+// shardSpec builds XMPP eactor i: it owns the connections handed off by
+// the CONNECTOR, parses their stanzas, routes one-to-one chat messages
+// via the shared Online list and fans groupchat messages out with
+// per-member re-encryption (Section 5.1.2).
+func (srv *Server) shardSpec(opts Options, i, worker int, enclave string) core.Spec {
+	st := &shardState{
+		pcl:     make(map[uint32]*session),
+		recvBuf: make([]byte, 4096),
+		ciphers: make(map[string]*ecrypto.Cipher),
+	}
+	var handoff, read, write, closeCh *core.Endpoint
+	roomFwd := make([]*core.Endpoint, len(opts.DedicatedRooms))
+	return core.Spec{
+		Name:    shardName(i),
+		Enclave: enclave,
+		Worker:  worker,
+		State:   st,
+		Init: func(self *core.Self) error {
+			handoff = self.MustChannel(fmt.Sprintf("handoff-%d", i))
+			read = self.MustChannel(fmt.Sprintf("read-%d", i))
+			write = self.MustChannel(fmt.Sprintf("write-%d", i))
+			closeCh = self.MustChannel(fmt.Sprintf("close-%d", i))
+			for j := range opts.DedicatedRooms {
+				ep, err := self.Channel(roomFwdChannel(i, j))
+				if err != nil {
+					return err
+				}
+				roomFwd[j] = ep
+			}
+			st.roomFwd = roomFwd
+			return nil
+		},
+		Body: func(self *core.Self) {
+			// Retry frames that previously hit a full channel.
+			for len(st.pending) > 0 {
+				if write.Send(st.pending[0].frame) != nil {
+					break
+				}
+				st.pending = st.pending[1:]
+				self.Progress()
+			}
+
+			// Take over newly authenticated connections.
+			for {
+				n, ok, err := handoff.Recv(st.recvBuf)
+				if err != nil || !ok {
+					break
+				}
+				srv.shardHandoff(self, st, read, st.recvBuf[:n])
+			}
+
+			// Inbound traffic, bounded per invocation.
+			for b := 0; b < opts.MaxBatch; b++ {
+				n, ok, err := read.Recv(st.recvBuf)
+				if err != nil || !ok {
+					break
+				}
+				msg, err := netactors.ParseMsg(st.recvBuf[:n])
+				if err != nil {
+					continue
+				}
+				self.Progress()
+				switch msg.Type {
+				case netactors.MsgClosed:
+					srv.shardDisconnect(st, closeCh, msg.Sock, false)
+				case netactors.MsgData:
+					sess, ok := st.pcl[msg.Sock]
+					if !ok {
+						continue
+					}
+					sess.scanner.Feed(msg.Data)
+					srv.shardDrainSession(self, st, sess, write, closeCh)
+				}
+			}
+
+			// Per-round housekeeping over the whole PCL (the paper's
+			// batch pass): finish sessions whose scanners still hold
+			// complete stanzas from earlier oversized chunks.
+			for _, sess := range st.pcl {
+				if sess.scanner.Buffered() > 0 {
+					srv.shardDrainSession(self, st, sess, write, closeCh)
+				}
+			}
+		},
+	}
+}
+
+// shardHandoff installs a session (or stray bytes) arriving from the
+// CONNECTOR.
+func (srv *Server) shardHandoff(self *core.Self, st *shardState, read *core.Endpoint, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case handoffSession:
+		entry, leftover, err := decodeHandoff(payload)
+		if err != nil {
+			return
+		}
+		sess := &session{sock: entry.Sock, user: entry.User, keyHex: entry.Key, authed: true, sawHdr: true}
+		if len(leftover) > 0 {
+			sess.scanner.Feed(leftover)
+		}
+		st.pcl[entry.Sock] = sess
+		w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: entry.Sock}).AppendTo(st.scratch[:0])
+		st.scratch = w
+		_ = read.Send(w)
+		self.Progress()
+	case handoffStray:
+		sock, data, err := decodeStray(payload)
+		if err != nil {
+			return
+		}
+		if sess, ok := st.pcl[sock]; ok {
+			sess.scanner.Feed(data)
+		}
+		self.Progress()
+	}
+}
+
+// shardDrainSession processes every complete stanza a session has
+// buffered.
+func (srv *Server) shardDrainSession(self *core.Self, st *shardState, sess *session, write, closeCh *core.Endpoint) {
+	for {
+		el, ok, err := sess.scanner.Next()
+		if err != nil {
+			srv.shardDisconnect(st, closeCh, sess.sock, true)
+			return
+		}
+		if !ok {
+			return
+		}
+		self.Progress()
+		switch {
+		case el.Kind == stanza.KindStreamEnd:
+			srv.shardDisconnect(st, closeCh, sess.sock, true)
+			return
+		case el.Kind != stanza.KindStanza:
+			continue
+		case el.Name == "message" && el.Attr("type") == "groupchat":
+			srv.routeGroup(st, sess, &el, write)
+		case el.Name == "message":
+			srv.routeOneToOne(st, sess, &el, write)
+		case el.Name == "presence":
+			srv.handlePresence(sess, &el)
+		case el.Name == "iq":
+			srv.handleIQ(st, sess, &el, write)
+		}
+	}
+}
+
+// routeOneToOne delivers a chat message to its recipient's socket. The
+// body is opaque to the service (end-to-end encryption is between the
+// clients); the stanza is forwarded as received, with the sender
+// identity pinned to the authenticated user.
+func (srv *Server) routeOneToOne(st *shardState, sess *session, el *stanza.Stanza, write *core.Endpoint) {
+	target, ok := srv.online.Get(el.Attr("to"))
+	if !ok {
+		return // recipient offline: drop (no offline storage in the subset)
+	}
+	var frame []byte
+	if el.Attr("from") == sess.user {
+		frame = el.Raw
+	} else {
+		// Re-stamp the sender: clients cannot spoof each other.
+		rebuilt := stanza.Message(sess.user, el.Attr("to"), el.Body())
+		frame = []byte(rebuilt)
+	}
+	srv.deliver(st, write, target.Sock, frame)
+	srv.routed.Add(1)
+}
+
+// routeGroup decrypts the sender's sealed body and re-encrypts it for
+// every room member with that member's service key.
+func (srv *Server) routeGroup(st *shardState, sess *session, el *stanza.Stanza, write *core.Endpoint) {
+	room := el.Attr("to")
+	// Dedicated rooms never decrypt here: the stanza is forwarded to the
+	// room's own enclave, which holds the only plaintext copy.
+	if j, ok := srv.roomIndex[room]; ok && j < len(st.roomFwd) && st.roomFwd[j] != nil {
+		fwd := encodeRoomForward(roomForward{
+			sender: sess.user, keyHex: sess.keyHex,
+			room: room, sealedHex: el.Body(),
+		})
+		_ = st.roomFwd[j].Send(fwd)
+		return
+	}
+	members := srv.rooms.Members(room)
+	if len(members) == 0 {
+		return
+	}
+	// The sender seals with its client cipher; the service opens with a
+	// server-side cipher over the same key.
+	openCipher, err := st.bodyCipher(sess.keyHex)
+	if err != nil {
+		return
+	}
+	body, err := OpenBodyWith(openCipher, el.Body())
+	if err != nil {
+		return // not sealed with the sender's key: reject silently
+	}
+	for _, member := range members {
+		if member == sess.user {
+			continue
+		}
+		entry, ok := srv.online.Get(member)
+		if !ok {
+			continue
+		}
+		memberCipher, err := st.bodyCipher(entry.Key)
+		if err != nil {
+			continue
+		}
+		sealed := SealBodyWith(memberCipher, body)
+		frame := stanza.GroupMessage(sess.user, room, sealed)
+		srv.deliver(st, write, entry.Sock, []byte(frame))
+		srv.fanout.Add(1)
+	}
+}
+
+// handleIQ answers info/query stanzas: XEP-0199 pings get a result, and
+// a presence query ("who") returns whether a user is online — the
+// match-making primitive the Signal/SGX discussion of Section 2.1
+// motivates (contact discovery without revealing the roster to the
+// host).
+func (srv *Server) handleIQ(st *shardState, sess *session, el *stanza.Stanza, write *core.Endpoint) {
+	if el.Attr("type") != "get" {
+		return
+	}
+	id := el.Attr("id")
+	raw := string(el.Raw)
+	switch {
+	case containsTag(raw, "ping"):
+		reply := fmt.Sprintf(`<iq type="result" id=%q to=%q from=%q/>`,
+			stanza.Escape(id), stanza.Escape(sess.user), ServiceName)
+		srv.deliver(st, write, sess.sock, []byte(reply))
+	case containsTag(raw, "who"):
+		target := stanza.ChildText(el.Raw, "who")
+		status := "offline"
+		if _, ok := srv.online.Get(target); ok {
+			status = "online"
+		}
+		reply := fmt.Sprintf(`<iq type="result" id=%q to=%q from=%q><who>%s</who><status>%s</status></iq>`,
+			stanza.Escape(id), stanza.Escape(sess.user), ServiceName,
+			stanza.Escape(target), status)
+		srv.deliver(st, write, sess.sock, []byte(reply))
+	}
+}
+
+// containsTag reports whether raw contains an opening <tag> or <tag/>.
+func containsTag(raw, tag string) bool {
+	for i := 0; i+len(tag)+1 < len(raw); i++ {
+		if raw[i] == '<' && raw[i+1:i+1+len(tag)] == tag {
+			next := raw[i+1+len(tag)]
+			if next == '>' || next == '/' || next == ' ' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// handlePresence processes room joins/leaves: presence to "room/nick"
+// joins, type="unavailable" leaves.
+func (srv *Server) handlePresence(sess *session, el *stanza.Stanza) {
+	to := el.Attr("to")
+	if to == "" {
+		return
+	}
+	room := to
+	for i := 0; i < len(to); i++ {
+		if to[i] == '/' {
+			room = to[:i]
+			break
+		}
+	}
+	if el.Attr("type") == "unavailable" {
+		srv.rooms.Leave(room, sess.user)
+	} else {
+		srv.rooms.Join(room, sess.user)
+	}
+}
+
+// deliver frames and sends bytes to a socket, queueing on backpressure.
+func (srv *Server) deliver(st *shardState, write *core.Endpoint, sock uint32, data []byte) {
+	m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: data}).AppendTo(nil)
+	if err != nil {
+		return
+	}
+	if write.Send(m) != nil {
+		if len(st.pending) < maxPendingWrites {
+			st.pending = append(st.pending, pendingWrite{frame: m})
+		}
+	}
+}
+
+// shardDisconnect tears a session down, optionally closing the socket.
+func (srv *Server) shardDisconnect(st *shardState, closeCh *core.Endpoint, sock uint32, closeSock bool) {
+	sess, ok := st.pcl[sock]
+	if !ok {
+		return
+	}
+	delete(st.pcl, sock)
+	srv.online.Remove(sess.user)
+	srv.rooms.LeaveAll(sess.user)
+	if closeSock {
+		c, _ := (netactors.Msg{Type: netactors.MsgClose, Sock: sock}).AppendTo(nil)
+		_ = closeCh.Send(c)
+	}
+}

@@ -1,0 +1,48 @@
+package xmpp_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/xmpp"
+)
+
+// TestSlowConsumerDoesNotStallService floods a receiver that never
+// reads; the service must keep serving other clients (frames to the
+// stalled client are eventually dropped, never block a shard).
+func TestSlowConsumerDoesNotStallService(t *testing.T) {
+	srv := startServer(t, xmpp.Options{Shards: 1, Trusted: true})
+
+	stalled := dial(t, srv.Addr(), "stalled") // connects but never reads
+	_ = stalled
+	flooder := dial(t, srv.Addr(), "flooder")
+	alice := dial(t, srv.Addr(), "alice")
+	bob := dial(t, srv.Addr(), "bob")
+
+	// Flood the stalled client far past any queue capacity.
+	payload := make([]byte, 600)
+	for i := range payload {
+		payload[i] = 'x'
+	}
+	for i := 0; i < 4000; i++ {
+		if err := flooder.SendMessage("stalled", string(payload)); err != nil {
+			t.Fatalf("flood write %d: %v", i, err)
+		}
+	}
+
+	// The service must still route between healthy clients promptly.
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf("healthy-%d", i)
+		if err := alice.SendMessage("bob", body); err != nil {
+			t.Fatalf("healthy send: %v", err)
+		}
+		msg, err := bob.ReadMessage(10 * time.Second)
+		if err != nil {
+			t.Fatalf("healthy read %d: %v (service stalled by slow consumer)", i, err)
+		}
+		if msg.Body != body {
+			t.Fatalf("healthy read %d = %+v", i, msg)
+		}
+	}
+}

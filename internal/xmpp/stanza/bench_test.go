@@ -1,0 +1,48 @@
+package stanza
+
+import (
+	"testing"
+)
+
+// BenchmarkScannerMessage measures the per-stanza parse cost on the
+// messaging hot path (Figures 14-17 process two of these per request).
+func BenchmarkScannerMessage(b *testing.B) {
+	msg := []byte(Message("alice", "bob", "a typical 150 byte chat payload padded out to look like the paper's workload xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sc Scanner
+	for i := 0; i < b.N; i++ {
+		sc.Feed(msg)
+		if _, ok, err := sc.Next(); err != nil || !ok {
+			b.Fatalf("parse failed: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkScannerFragmented measures reassembly of TCP-fragmented
+// stanzas.
+func BenchmarkScannerFragmented(b *testing.B) {
+	msg := []byte(Message("alice", "bob", "fragmented payload"))
+	half := len(msg) / 2
+	b.ResetTimer()
+	var sc Scanner
+	for i := 0; i < b.N; i++ {
+		sc.Feed(msg[:half])
+		if _, ok, _ := sc.Next(); ok {
+			b.Fatal("half a stanza parsed")
+		}
+		sc.Feed(msg[half:])
+		if _, ok, err := sc.Next(); err != nil || !ok {
+			b.Fatal("reassembly failed")
+		}
+	}
+}
+
+func BenchmarkEscape(b *testing.B) {
+	in := "body with <angle> & 'quotes' that needs escaping"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Escape(in)
+	}
+}

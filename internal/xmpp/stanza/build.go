@@ -1,0 +1,71 @@
+package stanza
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stanza and stream builders shared by the EActors service, the baseline
+// servers and the client. The wire format is the XMPP-subset both sides
+// of the evaluation speak.
+
+// StreamHeader builds the opening stream element.
+func StreamHeader(from, to string) string {
+	return fmt.Sprintf(
+		`<stream:stream from=%q to=%q version="1.0" xmlns="jabber:client" xmlns:stream="http://etherx.jabber.org/streams">`,
+		Escape(from), Escape(to))
+}
+
+// StreamClose is the closing stream element.
+const StreamClose = "</stream:stream>"
+
+// Auth builds the (simplified SASL) authentication stanza. The key is
+// the client's service-level session key, hex-encoded; group-chat
+// re-encryption uses it (Section 5.1: the server decrypts each group
+// member's messages and re-encrypts them per member).
+func Auth(user, keyHex string) string {
+	return fmt.Sprintf(`<auth user=%q key=%q/>`, Escape(user), Escape(keyHex))
+}
+
+// AuthSuccess is the server's acceptance reply.
+const AuthSuccess = `<success xmlns="urn:ietf:params:xml:ns:xmpp-sasl"/>`
+
+// AuthFailure is the server's rejection reply.
+const AuthFailure = `<failure xmlns="urn:ietf:params:xml:ns:xmpp-sasl"/>`
+
+// Message builds a chat message stanza.
+func Message(from, to, body string) string {
+	var b strings.Builder
+	b.Grow(64 + len(from) + len(to) + len(body))
+	b.WriteString(`<message from="`)
+	b.WriteString(Escape(from))
+	b.WriteString(`" to="`)
+	b.WriteString(Escape(to))
+	b.WriteString(`" type="chat"><body>`)
+	b.WriteString(Escape(body))
+	b.WriteString(`</body></message>`)
+	return b.String()
+}
+
+// GroupMessage builds a groupchat message stanza.
+func GroupMessage(from, room, body string) string {
+	var b strings.Builder
+	b.Grow(72 + len(from) + len(room) + len(body))
+	b.WriteString(`<message from="`)
+	b.WriteString(Escape(from))
+	b.WriteString(`" to="`)
+	b.WriteString(Escape(room))
+	b.WriteString(`" type="groupchat"><body>`)
+	b.WriteString(Escape(body))
+	b.WriteString(`</body></message>`)
+	return b.String()
+}
+
+// Presence builds a presence stanza; to is typically room/nick for MUC
+// joins.
+func Presence(from, to string) string {
+	if to == "" {
+		return fmt.Sprintf(`<presence from=%q/>`, Escape(from))
+	}
+	return fmt.Sprintf(`<presence from=%q to=%q/>`, Escape(from), Escape(to))
+}

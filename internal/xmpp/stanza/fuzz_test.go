@@ -1,0 +1,60 @@
+package stanza
+
+import (
+	"testing"
+)
+
+// FuzzScanner asserts that arbitrary byte streams never panic or hang
+// the scanner and that anything it parses can be re-parsed from its Raw
+// form. (go test runs the seed corpus; `go test -fuzz=FuzzScanner`
+// explores further.)
+func FuzzScanner(f *testing.F) {
+	f.Add([]byte(StreamHeader("a", "b")))
+	f.Add([]byte(Message("alice", "bob", "hello <&> world")))
+	f.Add([]byte(Presence("a", "room/a")))
+	f.Add([]byte(Auth("user", "deadbeef")))
+	f.Add([]byte(StreamClose))
+	f.Add([]byte("<a><b/><a></a></a>"))
+	f.Add([]byte("<?xml version=\"1.0\"?><presence/>"))
+	f.Add([]byte("garbage < not xml"))
+	f.Add([]byte{0, 1, 2, '<', 'x', '>'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sc Scanner
+		sc.Feed(data)
+		for i := 0; i < 1000; i++ {
+			el, ok, err := sc.Next()
+			if err != nil {
+				return
+			}
+			if !ok {
+				return
+			}
+			if el.Kind == KindStanza || el.Kind == KindStreamStart {
+				// Raw must itself parse to the same element name.
+				var re Scanner
+				re.Feed(el.Raw)
+				el2, ok2, err2 := re.Next()
+				if err2 != nil || !ok2 {
+					t.Fatalf("Raw of %q did not re-parse: ok=%v err=%v", el.Name, ok2, err2)
+				}
+				if el2.Name != el.Name {
+					t.Fatalf("re-parse name %q != %q", el2.Name, el.Name)
+				}
+			}
+		}
+		t.Fatalf("scanner produced 1000 elements from %d bytes (livelock?)", len(data))
+	})
+}
+
+// FuzzEscape asserts the escaping round trip on arbitrary strings.
+func FuzzEscape(f *testing.F) {
+	f.Add("plain")
+	f.Add("<&>'\"")
+	f.Add("&amp;&lt;")
+	f.Fuzz(func(t *testing.T, s string) {
+		if got := Unescape(Escape(s)); got != s {
+			t.Fatalf("roundtrip(%q) = %q", s, got)
+		}
+	})
+}

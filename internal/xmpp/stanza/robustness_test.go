@@ -1,0 +1,109 @@
+package stanza
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestScannerNeverPanics feeds arbitrary byte soup: the scanner must
+// either produce elements, ask for more input, or error — never panic
+// and never loop forever.
+func TestScannerNeverPanics(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		var sc Scanner
+		for _, chunk := range chunks {
+			if len(chunk) > 4096 {
+				chunk = chunk[:4096]
+			}
+			sc.Feed(chunk)
+			for i := 0; i < 100; i++ {
+				_, ok, err := sc.Next()
+				if err != nil {
+					return true // rejected, fine
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScannerAdversarialInputs exercises crafted edge cases.
+func TestScannerAdversarialInputs(t *testing.T) {
+	cases := []string{
+		"<",
+		"<>",
+		"<a",
+		"<a>",
+		"<a></a",
+		"<a/>",
+		"<a />",
+		"<a b='c'/>",
+		`<a b="c" />`,
+		"<a><b><a></a></b></a>",
+		"<message><body></body>",
+		"<message to='x' from=`bad`/>",
+		"<m a='unterminated/>",
+		"</stream:stream extra>",
+		"<stream:stream",
+		"<?xml?><?xml?>",
+		"<a>&lt;&gt;&amp;</a>",
+	}
+	for _, input := range cases {
+		var sc Scanner
+		sc.Feed([]byte(input))
+		for i := 0; i < 10; i++ {
+			_, ok, err := sc.Next()
+			if err != nil || !ok {
+				break
+			}
+		}
+		// Reaching here without a panic or infinite loop is the pass
+		// condition.
+	}
+}
+
+// TestScannerProgressGuarantee: feeding a complete element after garbage
+// whitespace always yields it.
+func TestScannerProgressGuarantee(t *testing.T) {
+	var sc Scanner
+	sc.Feed([]byte("   \n\t  "))
+	if _, ok, err := sc.Next(); ok || err != nil {
+		t.Fatalf("whitespace-only: ok=%v err=%v", ok, err)
+	}
+	sc.Feed([]byte("<presence from='a'/>"))
+	el, ok, err := sc.Next()
+	if err != nil || !ok || el.Name != "presence" {
+		t.Fatalf("after whitespace: %v ok=%v err=%v", el, ok, err)
+	}
+	if sc.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after full consume", sc.Buffered())
+	}
+}
+
+// TestRemainderHandoff mirrors the CONNECTOR->shard scanner transfer.
+func TestRemainderHandoff(t *testing.T) {
+	var first Scanner
+	full := Message("a", "b", "hello")
+	first.Feed([]byte(full[:10]))
+	if _, ok, err := first.Next(); ok || err != nil {
+		t.Fatalf("partial parse: ok=%v err=%v", ok, err)
+	}
+	rest := first.Remainder()
+	if first.Buffered() != 0 {
+		t.Fatal("Remainder did not clear the buffer")
+	}
+
+	var second Scanner
+	second.Feed(rest)
+	second.Feed([]byte(full[10:]))
+	el, ok, err := second.Next()
+	if err != nil || !ok || el.Body() != "hello" {
+		t.Fatalf("handoff parse: %v ok=%v err=%v", el, ok, err)
+	}
+}
