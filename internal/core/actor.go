@@ -76,6 +76,7 @@ type Self struct {
 	ctx        *sgx.Context
 	progressed bool
 	stopped    bool
+	drainLeft  int // remaining Self.RecvBatch allowance this invocation
 
 	// State is the eactor's private state (Spec.State).
 	State any
@@ -122,6 +123,38 @@ func (s *Self) MustChannel(name string) *Endpoint {
 // Progress records that the body did useful work this invocation; the
 // worker uses it to back off when all its eactors are idle.
 func (s *Self) Progress() { s.progressed = true }
+
+// DrainBudget returns how many more messages this invocation may
+// consume through RecvBatch before the worker moves on to its next
+// eactor (Config.DrainBudget, reset every invocation).
+func (s *Self) DrainBudget() int { return s.drainLeft }
+
+// RecvBatch is the budgeted batch receive bodies should use on hot
+// channels: it drains up to min(len(bufs), len(lens), remaining drain
+// budget) messages from ep in one pass, records progress, and deducts
+// the count from the invocation's budget — so a flooded eactor yields
+// its worker to siblings instead of draining forever. Message i lands
+// in bufs[i] with length lens[i]; error semantics are those of
+// Endpoint.RecvBatch. When the budget is exhausted it receives nothing;
+// the worker will be back, and the inbound mbox keeps the backlog.
+func (s *Self) RecvBatch(ep *Endpoint, bufs [][]byte, lens []int) (int, error) {
+	want := len(bufs)
+	if len(lens) < want {
+		want = len(lens)
+	}
+	if want > s.drainLeft {
+		want = s.drainLeft
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	n, err := ep.RecvBatch(bufs[:want], lens[:want])
+	if n > 0 {
+		s.drainLeft -= n
+		s.progressed = true
+	}
+	return n, err
+}
 
 // Waker returns a function that wakes this eactor's worker from its
 // idle sleep. It is safe to call from any goroutine; system eactors

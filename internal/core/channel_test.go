@@ -11,7 +11,7 @@ import (
 
 // buildPair constructs a runtime with two connected actors and returns
 // their endpoints without starting workers, for direct channel testing.
-func buildPair(t *testing.T, encrypted bool, capacity, poolNodes, payload int) (a, b *Endpoint, rt *Runtime) {
+func buildPair(t testing.TB, encrypted bool, capacity, poolNodes, payload int) (a, b *Endpoint, rt *Runtime) {
 	t.Helper()
 	cfg := Config{
 		Workers:     []WorkerSpec{{}},

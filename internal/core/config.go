@@ -16,6 +16,13 @@ const (
 	// churn of many workers keeps the scheduler busy and delays network
 	// readiness delivery to the pumps by a sysmon period (~10ms).
 	DefaultIdleSleep = 10 * time.Millisecond
+	// DefaultDrainBudget bounds how many messages one body invocation
+	// may consume through Self.RecvBatch. The budget is what lets
+	// bodies drain aggressively (the batch fast path) without letting
+	// one flooded eactor starve its worker siblings: the worker resets
+	// it before every invocation, so a body that exhausts it simply
+	// resumes on its next round-robin turn.
+	DefaultDrainBudget = 256
 )
 
 // EnclaveSpec declares one enclave of the deployment.
@@ -80,6 +87,12 @@ type Config struct {
 
 	// IdleSleep is the worker back-off once all its eactors are idle.
 	IdleSleep time.Duration
+
+	// DrainBudget caps the messages one body invocation may consume via
+	// Self.RecvBatch (DefaultDrainBudget when zero). Raise it for
+	// throughput-bound single-actor workers, lower it for fairness
+	// under mixed latency-sensitive actors.
+	DrainBudget int
 }
 
 // MemoryFootprint estimates the bytes the deployment preallocates:
@@ -170,6 +183,9 @@ func (c *Config) validate() error {
 	}
 	if c.PoolNodes < 0 || c.NodePayload < 0 {
 		return fmt.Errorf("core: negative pool geometry")
+	}
+	if c.DrainBudget < 0 {
+		return fmt.Errorf("core: negative drain budget")
 	}
 	return nil
 }

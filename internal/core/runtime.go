@@ -147,17 +147,21 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 	rt.workers = make([]*Worker, len(cfg.Workers))
 	for i, ws := range cfg.Workers {
 		rt.workers[i] = &Worker{
-			id:        i,
-			rt:        rt,
-			ctx:       sgx.NewContext(platform),
-			cpus:      append([]int(nil), ws.CPUs...),
-			idleSleep: cfg.IdleSleep,
-			doorbell:  make(chan struct{}, 1),
-			stop:      rt.stopCh,
-			done:      make(chan struct{}),
+			id:          i,
+			rt:          rt,
+			ctx:         sgx.NewContext(platform),
+			cpus:        append([]int(nil), ws.CPUs...),
+			idleSleep:   cfg.IdleSleep,
+			drainBudget: cfg.DrainBudget,
+			doorbell:    make(chan struct{}, 1),
+			stop:        rt.stopCh,
+			done:        make(chan struct{}),
 		}
 		if rt.workers[i].idleSleep == 0 {
 			rt.workers[i].idleSleep = DefaultIdleSleep
+		}
+		if rt.workers[i].drainBudget == 0 {
+			rt.workers[i].drainBudget = DefaultDrainBudget
 		}
 	}
 	for _, spec := range cfg.Actors {

@@ -22,6 +22,10 @@ type Worker struct {
 	cpus      []int
 	idleSleep time.Duration
 
+	// drainBudget is handed to each body invocation as its Self.RecvBatch
+	// allowance; see Config.DrainBudget.
+	drainBudget int
+
 	// doorbell wakes the worker from its idle sleep the moment one of
 	// its eactors gets work: channel sends ring the consumer's bell, and
 	// system eactors hand their Waker to I/O pumps. Without it, an idle
@@ -65,8 +69,12 @@ func (w *Worker) Actors() []string {
 func (w *Worker) invoke(a *actorInstance) {
 	defer func() {
 		if r := recover(); r != nil {
-			a.failed.Store(true)
+			// The failure text must be in place before the flag flips:
+			// the atomic store releases it, so any reader that observes
+			// failed==true (ActorFailure, report.go) sees the complete
+			// string rather than a torn/empty one.
 			a.failure = fmt.Sprintf("%v", r)
+			a.failed.Store(true)
 			w.rt.actorFailed(a.spec.Name)
 		}
 	}()
@@ -135,6 +143,7 @@ func (w *Worker) run() {
 				w.ctx.Exit()
 			}
 			a.self.progressed = false
+			a.self.drainLeft = w.drainBudget
 			w.invoke(a)
 			if a.self.progressed {
 				progressed = true

@@ -1,0 +1,316 @@
+package mem
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMboxEnqueueBatchPartialOnFull(t *testing.T) {
+	a := newTestArena(t, 8, 16)
+	m, _ := NewMbox(4)
+	var nodes []*Node
+	for i := 0; i < 6; i++ {
+		n, _ := a.Node(uint32(i))
+		nodes = append(nodes, n)
+	}
+	if got := m.EnqueueBatch(nodes); got != 4 {
+		t.Fatalf("EnqueueBatch into empty ring of 4 = %d, want 4", got)
+	}
+	if got := m.EnqueueBatch(nodes[4:]); got != 0 {
+		t.Fatalf("EnqueueBatch into full ring = %d, want 0", got)
+	}
+	if _, ok := m.Dequeue(); !ok {
+		t.Fatal("Dequeue from full ring failed")
+	}
+	if got := m.EnqueueBatch(nodes[4:]); got != 1 {
+		t.Fatalf("EnqueueBatch into ring with one slot = %d, want 1", got)
+	}
+	if m.EnqueueBatch(nil) != 0 {
+		t.Fatal("empty batch enqueued something")
+	}
+}
+
+func TestMboxDequeueBatchPartialOnEmpty(t *testing.T) {
+	a := newTestArena(t, 8, 16)
+	m, _ := NewMbox(8)
+	out := make([]*Node, 8)
+	if got := m.DequeueBatch(out); got != 0 {
+		t.Fatalf("DequeueBatch from empty ring = %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		n, _ := a.Node(uint32(i))
+		if !m.Enqueue(n) {
+			t.Fatalf("Enqueue #%d failed", i)
+		}
+	}
+	got := m.DequeueBatch(out)
+	if got != 3 {
+		t.Fatalf("DequeueBatch = %d, want the 3 available", got)
+	}
+	for i := 0; i < got; i++ {
+		if out[i].Index() != uint32(i) {
+			t.Fatalf("out[%d] = node %d, want %d", i, out[i].Index(), i)
+		}
+	}
+	if m.DequeueBatch(nil) != 0 {
+		t.Fatal("nil out slice dequeued something")
+	}
+}
+
+func TestMboxBatchFIFOMixedWithSingles(t *testing.T) {
+	// FIFO order must hold across interleaved single and batch operations,
+	// including across the ring's wrap-around boundary.
+	a := newTestArena(t, 64, 8)
+	m, _ := NewMbox(16)
+	next, expect := 0, 0
+	enqOne := func() {
+		n, _ := a.Node(uint32(next))
+		if m.Enqueue(n) {
+			next++
+		}
+	}
+	enqBatch := func(k int) {
+		batch := make([]*Node, 0, k)
+		for i := 0; i < k && next+i < a.Len(); i++ {
+			n, _ := a.Node(uint32(next + i))
+			batch = append(batch, n)
+		}
+		next += m.EnqueueBatch(batch)
+	}
+	check := func(n *Node) {
+		if n.Index() != uint32(expect) {
+			t.Fatalf("FIFO violated: got node %d, want %d", n.Index(), expect)
+		}
+		expect++
+	}
+	deqOne := func() {
+		if n, ok := m.Dequeue(); ok {
+			check(n)
+		}
+	}
+	deqBatch := func(k int) {
+		out := make([]*Node, k)
+		got := m.DequeueBatch(out)
+		for i := 0; i < got; i++ {
+			check(out[i])
+		}
+	}
+	enqOne()
+	enqBatch(5)
+	deqBatch(3)
+	enqBatch(7)
+	deqOne()
+	deqBatch(4)
+	enqOne()
+	enqBatch(12) // spans the wrap boundary of the 16-slot ring
+	deqBatch(16)
+	deqOne()
+	if expect != next {
+		t.Fatalf("consumed %d of %d enqueued", expect, next)
+	}
+	if !m.Empty() {
+		t.Fatalf("mbox not empty at end: Len = %d", m.Len())
+	}
+}
+
+func TestMboxBatchConcurrentMPMC(t *testing.T) {
+	// Batch producers vs batch consumers; every node must come back to the
+	// pool exactly once. Run under -race this also exercises the
+	// reserve-run-then-CAS claim path against concurrent slot releases.
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 1500
+		batchMax  = 8
+	)
+	a := newTestArena(t, 256, 8)
+	pool := NewPool(a)
+	m, _ := NewMbox(64)
+
+	var produced, consumed sync.WaitGroup
+	done := make(chan struct{})
+
+	consumed.Add(consumers)
+	for c := 0; c < consumers; c++ {
+		go func() {
+			defer consumed.Done()
+			out := make([]*Node, batchMax)
+			for {
+				got := m.DequeueBatch(out)
+				if got == 0 {
+					select {
+					case <-done:
+						for {
+							if got := m.DequeueBatch(out); got == 0 {
+								return
+							} else if err := pool.PutBatch(out[:got]); err != nil {
+								t.Errorf("PutBatch: %v", err)
+								return
+							}
+						}
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				if err := pool.PutBatch(out[:got]); err != nil {
+					t.Errorf("PutBatch: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	produced.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func() {
+			defer produced.Done()
+			batch := make([]*Node, batchMax)
+			sent := 0
+			for sent < perProd {
+				want := batchMax
+				if rem := perProd - sent; rem < want {
+					want = rem
+				}
+				got := pool.GetBatch(batch[:want])
+				if got == 0 {
+					runtime.Gosched()
+					continue
+				}
+				queued := 0
+				for queued < got {
+					n := m.EnqueueBatch(batch[queued:got])
+					if n == 0 {
+						runtime.Gosched()
+						continue
+					}
+					queued += n
+				}
+				sent += got
+			}
+		}()
+	}
+
+	produced.Wait()
+	close(done)
+	consumed.Wait()
+
+	if pool.Free() != 256 {
+		t.Fatalf("pool Free = %d after batch MPMC churn, want 256 (leaked or duplicated nodes)", pool.Free())
+	}
+}
+
+func TestPoolGetBatchPutBatch(t *testing.T) {
+	a := newTestArena(t, 8, 16)
+	p := NewPool(a)
+	out := make([]*Node, 6)
+	got := p.GetBatch(out)
+	if got != 6 {
+		t.Fatalf("GetBatch = %d, want 6", got)
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < got; i++ {
+		if out[i] == nil {
+			t.Fatalf("GetBatch handed out nil at %d", i)
+		}
+		if seen[out[i].Index()] {
+			t.Fatalf("node %d handed out twice in one batch", out[i].Index())
+		}
+		seen[out[i].Index()] = true
+		if out[i].Len() != 0 {
+			t.Fatalf("batch node %d has stale length %d", out[i].Index(), out[i].Len())
+		}
+	}
+	if p.Free() != 2 {
+		t.Fatalf("Free after GetBatch(6) = %d, want 2", p.Free())
+	}
+	// Partial batch when the freelist is shorter than the request.
+	rest := make([]*Node, 6)
+	if got := p.GetBatch(rest); got != 2 {
+		t.Fatalf("GetBatch on pool of 2 = %d, want 2", got)
+	}
+	if p.GetBatch(rest) != 0 {
+		t.Fatal("exhausted pool returned nodes")
+	}
+	if err := p.PutBatch(out); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if err := p.PutBatch(rest[:2]); err != nil {
+		t.Fatalf("PutBatch rest: %v", err)
+	}
+	if p.Free() != 8 {
+		t.Fatalf("Free after PutBatch = %d, want 8", p.Free())
+	}
+	if err := p.PutBatch(nil); err != nil {
+		t.Fatalf("empty PutBatch: %v", err)
+	}
+	if p.GetBatch(nil) != 0 {
+		t.Fatal("empty GetBatch returned nodes")
+	}
+}
+
+func TestPoolPutBatchValidation(t *testing.T) {
+	a1 := newTestArena(t, 2, 16)
+	a2 := newTestArena(t, 2, 16)
+	p := NewPool(a1)
+	own := p.Get()
+	foreign, _ := a2.Node(0)
+	if err := p.PutBatch([]*Node{own, foreign}); err == nil {
+		t.Fatal("PutBatch accepted a node from a different arena")
+	}
+	if err := p.PutBatch([]*Node{own, nil}); err == nil {
+		t.Fatal("PutBatch accepted nil")
+	}
+	// The rejected batch must not have corrupted the freelist.
+	if err := p.Put(own); err != nil {
+		t.Fatalf("Put after rejected batch: %v", err)
+	}
+	if p.Free() != 2 {
+		t.Fatalf("Free = %d, want 2", p.Free())
+	}
+}
+
+func TestPoolBatchConcurrentChurn(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 3000
+	)
+	a := newTestArena(t, 64, 32)
+	p := NewPool(a)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			batch := make([]*Node, 4)
+			for i := 0; i < rounds; i++ {
+				got := p.GetBatch(batch)
+				if got == 0 {
+					runtime.Gosched()
+					continue
+				}
+				for _, n := range batch[:got] {
+					buf := n.Buf()
+					for j := range buf {
+						buf[j] = id
+					}
+					for j := range buf {
+						if buf[j] != id {
+							t.Errorf("node %d corrupted while owned", n.Index())
+							return
+						}
+					}
+				}
+				if err := p.PutBatch(batch[:got]); err != nil {
+					t.Errorf("PutBatch: %v", err)
+					return
+				}
+			}
+		}(byte(w + 1))
+	}
+	wg.Wait()
+	if p.Free() != 64 {
+		t.Fatalf("Free after batch churn = %d, want 64 (leaked or duplicated nodes)", p.Free())
+	}
+}

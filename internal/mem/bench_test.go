@@ -113,6 +113,63 @@ func BenchmarkMboxPingPong(b *testing.B) {
 	wg.Wait()
 }
 
+// BenchmarkMboxSingle is the per-message baseline for the batch fast
+// path: every message pays its own pool trip and its own enqueue and
+// dequeue CAS. BenchmarkMboxBatch* amortise those over a burst; the
+// per-op numbers are directly comparable (all three count messages).
+func BenchmarkMboxSingle(b *testing.B) {
+	a, err := NewArena(64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPool(a)
+	m, _ := NewMbox(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := p.Get()
+		if n == nil || !m.Enqueue(n) {
+			b.Fatal("single path stalled")
+		}
+		got, ok := m.Dequeue()
+		if !ok {
+			b.Fatal("empty")
+		}
+		_ = p.Put(got)
+	}
+}
+
+func benchMboxBatch(b *testing.B, batch int) {
+	a, err := NewArena(64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPool(a)
+	m, _ := NewMbox(64)
+	nodes := make([]*Node, batch)
+	out := make([]*Node, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		got := p.GetBatch(nodes)
+		if got != batch {
+			b.Fatalf("GetBatch = %d", got)
+		}
+		if m.EnqueueBatch(nodes) != batch {
+			b.Fatal("EnqueueBatch stalled")
+		}
+		if m.DequeueBatch(out) != batch {
+			b.Fatal("DequeueBatch stalled")
+		}
+		if err := p.PutBatch(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMboxBatch8(b *testing.B)  { benchMboxBatch(b, 8) }
+func BenchmarkMboxBatch64(b *testing.B) { benchMboxBatch(b, 64) }
+
 // BenchmarkAblationMboxCapacity shows the throughput effect of the ring
 // size under a produce/consume burst pattern.
 func BenchmarkAblationMboxCapacity(b *testing.B) {

@@ -95,6 +95,97 @@ func (m *Mbox) Dequeue() (node *Node, ok bool) {
 	}
 }
 
+// EnqueueBatch appends a run of nodes with a single CAS on the enqueue
+// cursor, preserving FIFO order: nodes[0] is dequeued first. It returns
+// how many nodes were enqueued — fewer than len(nodes) when the ring
+// has less free space. All nodes must be non-nil; on a partial enqueue
+// the caller keeps ownership of nodes[n:].
+//
+// The reservation is safe because slot availability is stable: a slot
+// whose sequence equals its enqueue round can only be claimed through
+// the enqueue-cursor CAS (which we win for the whole run), and
+// consumers only ever move slots *towards* availability.
+func (m *Mbox) EnqueueBatch(nodes []*Node) int {
+	if len(nodes) == 0 {
+		return 0
+	}
+	pos := m.enqPos.Load()
+	for {
+		slot := &m.slots[pos&m.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			// Count the run of free slots starting at pos. The scan
+			// self-limits at capacity: after len(slots) steps it re-reads
+			// the first slot, whose sequence no longer matches.
+			n := 1
+			for n < len(nodes) {
+				next := m.slots[(pos+uint64(n))&m.mask].seq.Load()
+				if next != pos+uint64(n) {
+					break
+				}
+				n++
+			}
+			if !m.enqPos.CompareAndSwap(pos, pos+uint64(n)) {
+				pos = m.enqPos.Load()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				s := &m.slots[(pos+uint64(i))&m.mask]
+				s.node = nodes[i]
+				s.seq.Store(pos + uint64(i) + 1)
+			}
+			return n
+		case seq < pos:
+			return 0 // ring is full
+		default:
+			pos = m.enqPos.Load()
+		}
+	}
+}
+
+// DequeueBatch removes up to len(out) of the oldest nodes with a single
+// CAS on the dequeue cursor, filling out in FIFO order and returning the
+// count. A racing producer that has reserved but not yet published a
+// slot truncates the run, so a batch never blocks on an in-flight
+// enqueue.
+func (m *Mbox) DequeueBatch(out []*Node) int {
+	if len(out) == 0 {
+		return 0
+	}
+	pos := m.deqPos.Load()
+	for {
+		slot := &m.slots[pos&m.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			n := 1
+			for n < len(out) {
+				next := m.slots[(pos+uint64(n))&m.mask].seq.Load()
+				if next != pos+uint64(n)+1 {
+					break
+				}
+				n++
+			}
+			if !m.deqPos.CompareAndSwap(pos, pos+uint64(n)) {
+				pos = m.deqPos.Load()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				s := &m.slots[(pos+uint64(i))&m.mask]
+				out[i] = s.node
+				s.node = nil
+				s.seq.Store(pos + uint64(i) + m.mask + 1)
+			}
+			return n
+		case seq <= pos:
+			return 0 // ring is empty
+		default:
+			pos = m.deqPos.Load()
+		}
+	}
+}
+
 // Len returns the approximate number of queued nodes.
 func (m *Mbox) Len() int {
 	n := int64(m.enqPos.Load()) - int64(m.deqPos.Load())

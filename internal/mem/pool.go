@@ -55,6 +55,73 @@ func (p *Pool) Get() *Node {
 	}
 }
 
+// GetBatch pops up to len(out) free nodes with a single CAS, filling
+// out from the top of the stack. It returns the number popped (0 when
+// the pool is empty). The freelist walk is validated by the tagged CAS:
+// the tag changes on every push and pop, so the CAS only succeeds when
+// the list was untouched since the head read and every link the walk
+// followed was stable.
+func (p *Pool) GetBatch(out []*Node) int {
+	if len(out) == 0 {
+		return 0
+	}
+	for {
+		head := p.head.Load()
+		idx := uint32(head)
+		if idx == 0 {
+			return 0
+		}
+		n := 0
+		next := idx
+		for n < len(out) && next != 0 {
+			node := &p.arena.nodes[next-1]
+			out[n] = node
+			next = node.next.Load()
+			n++
+		}
+		tag := uint32(head>>32) + 1
+		if p.head.CompareAndSwap(head, uint64(tag)<<32|uint64(next)) {
+			p.count.Add(int64(-n))
+			for i := 0; i < n; i++ {
+				out[i].size = 0
+			}
+			return n
+		}
+	}
+}
+
+// PutBatch returns a run of nodes to the pool with a single CAS: the
+// nodes are linked amongst themselves first, then the whole chain is
+// pushed at once. The caller must own every node and must not touch
+// them afterwards. nodes[0] becomes the new top of the stack.
+func (p *Pool) PutBatch(nodes []*Node) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	for _, node := range nodes {
+		if node == nil {
+			return fmt.Errorf("mem: PutBatch(nil node)")
+		}
+		if int(node.index) >= len(p.arena.nodes) || &p.arena.nodes[node.index] != node {
+			return fmt.Errorf("mem: PutBatch of node %d from a different arena", node.index)
+		}
+	}
+	for i := 0; i < len(nodes)-1; i++ {
+		nodes[i].next.Store(nodes[i+1].index + 1)
+	}
+	first := uint64(nodes[0].index) + 1
+	last := nodes[len(nodes)-1]
+	for {
+		head := p.head.Load()
+		last.next.Store(uint32(head))
+		tag := uint32(head>>32) + 1
+		if p.head.CompareAndSwap(head, uint64(tag)<<32|first) {
+			p.count.Add(int64(len(nodes)))
+			return nil
+		}
+	}
+}
+
 // Put returns a node to the pool. The caller must own the node and must
 // not touch it afterwards.
 func (p *Pool) Put(node *Node) error {

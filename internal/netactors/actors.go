@@ -165,20 +165,25 @@ func (s *System) AccepterSpec(name string, worker int, channels ...string) core.
 	}
 }
 
+// readWatch is one READER-watched connection socket.
+type readWatch struct {
+	ep      *core.Endpoint
+	sock    *Socket
+	pending [][]byte // encoded frames that hit a full channel, retried first
+}
+
 // ReaderSpec builds the READER eactor: clients watch connection sockets
 // (MsgWatch) and receive their inbound bytes as MsgData, then a final
-// MsgClosed at EOF.
+// MsgClosed at EOF. Inbound chunks are forwarded through the channel's
+// batch fast path: one SendBatch (one pool trip, one mbox CAS, one
+// doorbell) per socket per invocation instead of one per chunk.
 func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Spec {
 	table := s.table
-	type watch struct {
-		ep      *core.Endpoint
-		sock    *Socket
-		pending []byte // chunk that failed to send, retried first
-	}
 	var eps []*core.Endpoint
-	var watches []*watch
+	var watches []*readWatch
 	var scratch []byte
-	recvBuf := make([]byte, core.DefaultNodePayload)
+	var stage core.SendStage
+	recvBufs, recvLens := core.BatchBufs(drainBatch, core.DefaultNodePayload)
 	return core.Spec{
 		Name:   name,
 		Worker: worker,
@@ -194,12 +199,9 @@ func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Sp
 		},
 		Body: func(self *core.Self) {
 			for _, ep := range eps {
-				for {
-					n, ok, err := ep.Recv(recvBuf)
-					if err != nil || !ok {
-						break
-					}
-					msg, err := ParseMsg(recvBuf[:n])
+				n, _ := self.RecvBatch(ep, recvBufs, recvLens)
+				for i := 0; i < n; i++ {
+					msg, err := ParseMsg(recvBufs[i][:recvLens[i]])
 					if err != nil {
 						continue
 					}
@@ -208,14 +210,12 @@ func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Sp
 						if sock, ok := table.Get(msg.Sock); ok && sock.conn != nil {
 							sock.SetWake(self.Waker())
 							sock.startReadPump()
-							watches = append(watches, &watch{ep: ep, sock: sock})
-							self.Progress()
+							watches = append(watches, &readWatch{ep: ep, sock: sock})
 						}
 					case MsgUnwatch:
 						for i, w := range watches {
 							if w.sock.id == msg.Sock && w.ep == ep {
 								watches = append(watches[:i], watches[i+1:]...)
-								self.Progress()
 								break
 							}
 						}
@@ -224,7 +224,7 @@ func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Sp
 			}
 			live := watches[:0]
 			for _, w := range watches {
-				if !s.drainSocket(self, w.ep, w.sock, &w.pending, &scratch) {
+				if !s.drainSocket(self, w, &stage, &scratch) {
 					continue // MsgClosed delivered; drop the watch
 				}
 				live = append(live, w)
@@ -234,55 +234,78 @@ func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Sp
 	}
 }
 
-// drainSocket forwards up to drainBatch chunks from the socket's inbox,
-// returning false once the socket is finished (MsgClosed sent).
-func (s *System) drainSocket(self *core.Self, ep *core.Endpoint, sock *Socket, pending *[]byte, scratch *[]byte) bool {
-	maxChunk := MaxData(ep.MaxPayload())
-	for i := 0; i < drainBatch; i++ {
-		var chunk []byte
-		if len(*pending) > 0 {
-			chunk = *pending
-		} else {
-			select {
-			case chunk = <-sock.inbox:
-			default:
-				if sock.eof.Load() && !sock.eofSent.Load() {
-					if reply(ep, Msg{Type: MsgClosed, Sock: sock.id}, scratch) {
-						sock.eofSent.Store(true)
-						self.Progress()
-						return false
-					}
-				}
-				return true
-			}
-		}
-		// Split oversized chunks to the channel's frame limit.
-		emit := chunk
-		if len(emit) > maxChunk {
-			emit = chunk[:maxChunk]
-		}
-		if !reply(ep, Msg{Type: MsgData, Sock: sock.id, Data: emit}, scratch) {
-			*pending = chunk // retry next invocation
-			return true
+// drainSocket forwards up to drainBatch chunks from the socket's inbox
+// as one batched send, returning false once the socket is finished
+// (MsgClosed sent).
+func (s *System) drainSocket(self *core.Self, w *readWatch, stage *core.SendStage, scratch *[]byte) bool {
+	// Retry frames a previously full channel left behind, in order.
+	for len(w.pending) > 0 {
+		n, _ := w.ep.SendBatch(w.pending)
+		if n == 0 {
+			return true // still backed up; chunks wait in the inbox
 		}
 		self.Progress()
-		if len(chunk) > len(emit) {
-			*pending = chunk[len(emit):]
-		} else {
-			*pending = nil
+		w.pending = w.pending[n:]
+	}
+	w.pending = nil
+	maxChunk := MaxData(w.ep.MaxPayload())
+	stage.Reset()
+	for stage.Len() < drainBatch {
+		var chunk []byte
+		select {
+		case chunk = <-w.sock.inbox:
+		default:
+		}
+		if chunk == nil {
+			break
+		}
+		// Split oversized chunks to the channel's frame limit.
+		for len(chunk) > 0 {
+			emit := chunk
+			if len(emit) > maxChunk {
+				emit = chunk[:maxChunk]
+			}
+			frame, err := (Msg{Type: MsgData, Sock: w.sock.id, Data: emit}).AppendTo(stage.Slot())
+			if err != nil {
+				return true // cannot happen: emit fits the frame limit
+			}
+			stage.Push(frame)
+			chunk = chunk[len(emit):]
+		}
+	}
+	if stage.Len() > 0 {
+		n, _ := w.ep.SendBatch(stage.Frames())
+		if n > 0 {
+			self.Progress()
+		}
+		// Stage slots are reused next round, so spilled frames get copies
+		// (backpressure path only).
+		for _, f := range stage.Frames()[n:] {
+			w.pending = append(w.pending, append([]byte(nil), f...))
+		}
+		if len(w.pending) > 0 {
+			return true
+		}
+	}
+	if w.sock.eof.Load() && !w.sock.eofSent.Load() && len(w.sock.inbox) == 0 {
+		if reply(w.ep, Msg{Type: MsgClosed, Sock: w.sock.id}, scratch) {
+			w.sock.eofSent.Store(true)
+			self.Progress()
+			return false
 		}
 	}
 	return true
 }
 
 // WriterSpec builds the WRITER eactor: it writes MsgData payloads to
-// their sockets. It also honours MsgClose, so a sender can order a
-// final frame and the close on one FIFO channel (handshake-failure
-// teardown needs exactly that ordering).
+// their sockets, draining each channel through the batch fast path. It
+// also honours MsgClose, so a sender can order a final frame and the
+// close on one FIFO channel (handshake-failure teardown needs exactly
+// that ordering).
 func (s *System) WriterSpec(name string, worker int, channels ...string) core.Spec {
 	table := s.table
 	var eps []*core.Endpoint
-	recvBuf := make([]byte, core.DefaultNodePayload)
+	recvBufs, recvLens := core.BatchBufs(drainBatch, core.DefaultNodePayload)
 	return core.Spec{
 		Name:   name,
 		Worker: worker,
@@ -298,22 +321,17 @@ func (s *System) WriterSpec(name string, worker int, channels ...string) core.Sp
 		},
 		Body: func(self *core.Self) {
 			for _, ep := range eps {
-				for i := 0; i < drainBatch; i++ {
-					n, ok, err := ep.Recv(recvBuf)
-					if err != nil || !ok {
-						break
-					}
-					msg, err := ParseMsg(recvBuf[:n])
+				n, _ := self.RecvBatch(ep, recvBufs, recvLens)
+				for i := 0; i < n; i++ {
+					msg, err := ParseMsg(recvBufs[i][:recvLens[i]])
 					if err != nil {
 						continue
 					}
 					switch msg.Type {
 					case MsgData:
 						_ = table.Write(msg.Sock, msg.Data) // peer EOF surfaces via READER
-						self.Progress()
 					case MsgClose:
 						_ = table.Close(msg.Sock)
-						self.Progress()
 					}
 				}
 			}

@@ -193,12 +193,18 @@ func (s *System) resolve(path string) (string, error) {
 	return s.Root + "/" + path, nil
 }
 
+// filerBatch bounds per-channel request draining per body invocation.
+const filerBatch = 16
+
 // FilerSpec builds the FILER eactor serving the named channels. It must
-// be deployed untrusted.
+// be deployed untrusted. Requests are drained and replies returned
+// through the channel batch fast path: one RecvBatch and one SendBatch
+// per channel per invocation, so a burst of file operations costs one
+// pool/mbox/doorbell interaction in each direction.
 func (s *System) FilerSpec(name string, worker int, channels ...string) core.Spec {
 	var eps []*core.Endpoint
-	var scratch []byte
-	recvBuf := make([]byte, core.DefaultNodePayload)
+	var stage core.SendStage
+	recvBufs, recvLens := core.BatchBufs(filerBatch, core.DefaultNodePayload)
 	readBuf := make([]byte, core.DefaultNodePayload)
 	return core.Spec{
 		Name:   name,
@@ -215,37 +221,40 @@ func (s *System) FilerSpec(name string, worker int, channels ...string) core.Spe
 		},
 		Body: func(self *core.Self) {
 			for _, ep := range eps {
-				for i := 0; i < 16; i++ {
-					n, ok, err := ep.Recv(recvBuf)
-					if err != nil || !ok {
-						break
-					}
-					msg, err := ParseMsg(recvBuf[:n])
+				n, _ := self.RecvBatch(ep, recvBufs, recvLens)
+				if n == 0 {
+					continue
+				}
+				maxData := MaxData(ep.MaxPayload())
+				stage.Reset()
+				for i := 0; i < n; i++ {
+					msg, err := ParseMsg(recvBufs[i][:recvLens[i]])
 					if err != nil {
 						continue
 					}
-					self.Progress()
-					s.serve(ep, msg, &scratch, readBuf)
+					s.serve(msg, &stage, readBuf, maxData)
 				}
+				// Best effort, like the single reply path was: unsent
+				// replies are dropped; requesters treat the filer as
+				// at-least-once and may retry.
+				_, _ = ep.SendBatch(stage.Frames())
 			}
 		},
 	}
 }
 
-// reply sends one message, best effort (a full channel drops the reply;
-// requesters treat the filer as at-least-once and may retry).
-func reply(ep *core.Endpoint, m Msg, scratch *[]byte) {
-	buf, err := m.AppendTo((*scratch)[:0])
+// reply stages one message for the batched reply send.
+func reply(stage *core.SendStage, m Msg) {
+	buf, err := m.AppendTo(stage.Slot())
 	if err != nil {
 		return
 	}
-	*scratch = buf
-	_ = ep.Send(buf)
+	stage.Push(buf)
 }
 
-func (s *System) serve(ep *core.Endpoint, msg Msg, scratch *[]byte, readBuf []byte) {
+func (s *System) serve(msg Msg, stage *core.SendStage, readBuf []byte, maxData int) {
 	fail := func(handle uint32, err error) {
-		reply(ep, Msg{Type: OpErr, Handle: handle, Data: []byte(err.Error())}, scratch)
+		reply(stage, Msg{Type: OpErr, Handle: handle, Data: []byte(err.Error())})
 	}
 	switch msg.Type {
 	case OpOpen:
@@ -269,7 +278,7 @@ func (s *System) serve(ep *core.Endpoint, msg Msg, scratch *[]byte, readBuf []by
 			fail(0, err)
 			return
 		}
-		reply(ep, Msg{Type: OpOK, Handle: s.table.add(f)}, scratch)
+		reply(stage, Msg{Type: OpOK, Handle: s.table.add(f)})
 	case OpRead:
 		f, ok := s.table.get(msg.Handle)
 		if !ok {
@@ -277,16 +286,16 @@ func (s *System) serve(ep *core.Endpoint, msg Msg, scratch *[]byte, readBuf []by
 			return
 		}
 		want := int(msg.Arg)
-		if max := MaxData(ep.MaxPayload()); want > max || want == 0 {
-			want = max
+		if want > maxData || want == 0 {
+			want = maxData
 		}
 		n, err := f.Read(readBuf[:want])
 		if n > 0 {
-			reply(ep, Msg{Type: OpData, Handle: msg.Handle, Data: readBuf[:n]}, scratch)
+			reply(stage, Msg{Type: OpData, Handle: msg.Handle, Data: readBuf[:n]})
 			return
 		}
 		if err == io.EOF {
-			reply(ep, Msg{Type: OpEOF, Handle: msg.Handle}, scratch)
+			reply(stage, Msg{Type: OpEOF, Handle: msg.Handle})
 			return
 		}
 		if err != nil {
@@ -302,7 +311,7 @@ func (s *System) serve(ep *core.Endpoint, msg Msg, scratch *[]byte, readBuf []by
 			fail(msg.Handle, err)
 			return
 		}
-		reply(ep, Msg{Type: OpOK, Handle: msg.Handle}, scratch)
+		reply(stage, Msg{Type: OpOK, Handle: msg.Handle})
 	case OpSync:
 		f, ok := s.table.get(msg.Handle)
 		if !ok {
@@ -313,7 +322,7 @@ func (s *System) serve(ep *core.Endpoint, msg Msg, scratch *[]byte, readBuf []by
 			fail(msg.Handle, err)
 			return
 		}
-		reply(ep, Msg{Type: OpOK, Handle: msg.Handle}, scratch)
+		reply(stage, Msg{Type: OpOK, Handle: msg.Handle})
 	case OpClose:
 		f, ok := s.table.remove(msg.Handle)
 		if !ok {
@@ -324,7 +333,7 @@ func (s *System) serve(ep *core.Endpoint, msg Msg, scratch *[]byte, readBuf []by
 			fail(msg.Handle, err)
 			return
 		}
-		reply(ep, Msg{Type: OpOK, Handle: msg.Handle}, scratch)
+		reply(stage, Msg{Type: OpOK, Handle: msg.Handle})
 	}
 }
 

@@ -100,8 +100,9 @@ func (srv *Server) roomShardSpec(opts Options, j, worker int, enclave, room stri
 	}
 	var in []*core.Endpoint
 	var write *core.Endpoint
-	var pending []pendingWrite
-	recvBuf := make([]byte, 8192)
+	var pending [][]byte
+	var stage core.SendStage
+	recvBufs, recvLens := core.BatchBufs(opts.MaxBatch, 8192)
 	return core.Spec{
 		Name:    roomShardName(j),
 		Enclave: enclave,
@@ -119,34 +120,55 @@ func (srv *Server) roomShardSpec(opts Options, j, worker int, enclave, room stri
 			return err
 		},
 		Body: func(self *core.Self) {
-			for len(pending) > 0 {
-				if write.Send(pending[0].frame) != nil {
-					break
+			// Retry frames that previously hit a full channel, as one
+			// batch in FIFO order.
+			if len(pending) > 0 {
+				n, _ := write.SendBatch(pending)
+				if n > 0 {
+					self.Progress()
+					pending = pending[n:]
+					if len(pending) == 0 {
+						pending = nil
+					}
 				}
-				pending = pending[1:]
-				self.Progress()
 			}
 			for _, ep := range in {
-				for b := 0; b < opts.MaxBatch; b++ {
-					n, ok, err := ep.Recv(recvBuf)
-					if err != nil || !ok {
-						break
-					}
-					fwd, err := decodeRoomForward(recvBuf[:n])
+				n, _ := self.RecvBatch(ep, recvBufs, recvLens)
+				for i := 0; i < n; i++ {
+					fwd, err := decodeRoomForward(recvBufs[i][:recvLens[i]])
 					if err != nil || fwd.room != room {
 						continue
 					}
-					self.Progress()
-					srv.roomFanout(fwd, cipherFor, write, &pending)
+					srv.roomFanout(fwd, cipherFor, &stage)
 				}
+			}
+			// One SendBatch — one doorbell to the room's WRITER — for the
+			// whole fan-out this round. Stage slots are reused next round,
+			// so spilled frames get copies (backpressure path only).
+			if stage.Len() > 0 {
+				sent := 0
+				if len(pending) == 0 {
+					sent, _ = write.SendBatch(stage.Frames())
+				}
+				if sent > 0 {
+					self.Progress()
+				}
+				for _, f := range stage.Frames()[sent:] {
+					if len(pending) >= maxPendingWrites {
+						break // slow-receiver protection: drop the rest
+					}
+					pending = append(pending, append([]byte(nil), f...))
+				}
+				stage.Reset()
 			}
 		},
 	}
 }
 
 // roomFanout decrypts the sender's body and re-encrypts it per member —
-// the room enclave is the only place this plaintext ever exists.
-func (srv *Server) roomFanout(fwd roomForward, cipherFor func(string) (*ecrypto.Cipher, error), write *core.Endpoint, pending *[]pendingWrite) {
+// the room enclave is the only place this plaintext ever exists. Frames
+// are staged; the caller flushes them as one batch.
+func (srv *Server) roomFanout(fwd roomForward, cipherFor func(string) (*ecrypto.Cipher, error), stage *core.SendStage) {
 	senderCipher, err := cipherFor(fwd.keyHex)
 	if err != nil {
 		return
@@ -169,15 +191,11 @@ func (srv *Server) roomFanout(fwd roomForward, cipherFor func(string) (*ecrypto.
 		}
 		sealed := SealBodyWith(memberCipher, body)
 		frame := stanza.GroupMessage(fwd.sender, fwd.room, sealed)
-		m, err := (netactors.Msg{Type: netactors.MsgData, Sock: entry.Sock, Data: []byte(frame)}).AppendTo(nil)
+		m, err := (netactors.Msg{Type: netactors.MsgData, Sock: entry.Sock, Data: []byte(frame)}).AppendTo(stage.Slot())
 		if err != nil {
 			continue
 		}
-		if write.Send(m) != nil {
-			if len(*pending) < maxPendingWrites {
-				*pending = append(*pending, pendingWrite{frame: m})
-			}
-		}
+		stage.Push(m)
 		srv.fanout.Add(1)
 	}
 }

@@ -9,21 +9,27 @@ import (
 	"github.com/eactors/eactors-go/internal/xmpp/stanza"
 )
 
-// pendingWrite is an outbound frame that hit a full write channel.
-type pendingWrite struct {
-	frame []byte
-}
-
 // maxPendingWrites bounds the retry queue before frames are dropped
 // (slow-receiver protection).
 const maxPendingWrites = 4096
 
+// deliverFlushBatch caps the outbound stage before a mid-round flush:
+// a large group fan-out still goes out in doorbell-coalesced batches
+// instead of accumulating the whole room in the stage.
+const deliverFlushBatch = 64
+
 // shardState is one XMPP eactor's private state.
 type shardState struct {
 	pcl     map[uint32]*session // the paper's private client list
-	pending []pendingWrite
+	pending [][]byte            // owned frames that hit a full write channel
 	scratch []byte
-	recvBuf []byte
+	// stage batches outbound frames: one SendBatch — one pool trip, one
+	// mbox CAS, one WRITER doorbell — per flush instead of per stanza.
+	stage core.SendStage
+	// readBufs/hoBufs are the batch receive sets for the read and
+	// handoff channels.
+	readBufs, hoBufs [][]byte
+	readLens, hoLens []int
 	// ciphers caches the service-level body ciphers per user key —
 	// "an eactor can store its encryption key in its private state"
 	// (Section 4.1); rebuilding AES-GCM state per fan-out would dominate
@@ -53,9 +59,10 @@ func (st *shardState) bodyCipher(keyHex string) (*ecrypto.Cipher, error) {
 func (srv *Server) shardSpec(opts Options, i, worker int, enclave string) core.Spec {
 	st := &shardState{
 		pcl:     make(map[uint32]*session),
-		recvBuf: make([]byte, 4096),
 		ciphers: make(map[string]*ecrypto.Cipher),
 	}
+	st.readBufs, st.readLens = core.BatchBufs(opts.MaxBatch, 4096)
+	st.hoBufs, st.hoLens = core.BatchBufs(8, 4096)
 	var handoff, read, write, closeCh *core.Endpoint
 	roomFwd := make([]*core.Endpoint, len(opts.DedicatedRooms))
 	return core.Spec{
@@ -79,35 +86,33 @@ func (srv *Server) shardSpec(opts Options, i, worker int, enclave string) core.S
 			return nil
 		},
 		Body: func(self *core.Self) {
-			// Retry frames that previously hit a full channel.
-			for len(st.pending) > 0 {
-				if write.Send(st.pending[0].frame) != nil {
-					break
+			// Retry frames that previously hit a full channel, as one
+			// batch in FIFO order.
+			if len(st.pending) > 0 {
+				n, _ := write.SendBatch(st.pending)
+				if n > 0 {
+					self.Progress()
+					st.pending = st.pending[n:]
+					if len(st.pending) == 0 {
+						st.pending = nil
+					}
 				}
-				st.pending = st.pending[1:]
-				self.Progress()
 			}
 
 			// Take over newly authenticated connections.
-			for {
-				n, ok, err := handoff.Recv(st.recvBuf)
-				if err != nil || !ok {
-					break
-				}
-				srv.shardHandoff(self, st, read, st.recvBuf[:n])
+			n, _ := self.RecvBatch(handoff, st.hoBufs, st.hoLens)
+			for i := 0; i < n; i++ {
+				srv.shardHandoff(self, st, read, st.hoBufs[i][:st.hoLens[i]])
 			}
 
-			// Inbound traffic, bounded per invocation.
-			for b := 0; b < opts.MaxBatch; b++ {
-				n, ok, err := read.Recv(st.recvBuf)
-				if err != nil || !ok {
-					break
-				}
-				msg, err := netactors.ParseMsg(st.recvBuf[:n])
+			// Inbound traffic, one batched drain bounded by MaxBatch and
+			// the worker's drain budget.
+			n, _ = self.RecvBatch(read, st.readBufs, st.readLens)
+			for i := 0; i < n; i++ {
+				msg, err := netactors.ParseMsg(st.readBufs[i][:st.readLens[i]])
 				if err != nil {
 					continue
 				}
-				self.Progress()
 				switch msg.Type {
 				case netactors.MsgClosed:
 					srv.shardDisconnect(st, closeCh, msg.Sock, false)
@@ -129,6 +134,9 @@ func (srv *Server) shardSpec(opts Options, i, worker int, enclave string) core.S
 					srv.shardDrainSession(self, st, sess, write, closeCh)
 				}
 			}
+
+			// One doorbell for everything this round produced.
+			srv.flushWrites(st, write)
 		},
 	}
 }
@@ -328,17 +336,39 @@ func (srv *Server) handlePresence(sess *session, el *stanza.Stanza) {
 	}
 }
 
-// deliver frames and sends bytes to a socket, queueing on backpressure.
+// deliver frames bytes for a socket and stages the frame on the
+// outbound batch; the round's flushWrites (or a mid-round flush when a
+// big fan-out fills the stage) pushes everything with one SendBatch.
 func (srv *Server) deliver(st *shardState, write *core.Endpoint, sock uint32, data []byte) {
-	m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: data}).AppendTo(nil)
+	m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: data}).AppendTo(st.stage.Slot())
 	if err != nil {
 		return
 	}
-	if write.Send(m) != nil {
-		if len(st.pending) < maxPendingWrites {
-			st.pending = append(st.pending, pendingWrite{frame: m})
-		}
+	st.stage.Push(m)
+	if st.stage.Len() >= deliverFlushBatch {
+		srv.flushWrites(st, write)
 	}
+}
+
+// flushWrites sends the staged frames as one batch. While the retry
+// queue is non-empty the stage spills behind it instead of sending, so
+// per-socket FIFO order survives backpressure. Stage slots are reused
+// next round, so spilled frames get copies (backpressure path only).
+func (srv *Server) flushWrites(st *shardState, write *core.Endpoint) {
+	if st.stage.Len() == 0 {
+		return
+	}
+	sent := 0
+	if len(st.pending) == 0 {
+		sent, _ = write.SendBatch(st.stage.Frames())
+	}
+	for _, f := range st.stage.Frames()[sent:] {
+		if len(st.pending) >= maxPendingWrites {
+			break // slow-receiver protection: drop the rest
+		}
+		st.pending = append(st.pending, append([]byte(nil), f...))
+	}
+	st.stage.Reset()
 }
 
 // shardDisconnect tears a session down, optionally closing the socket.
