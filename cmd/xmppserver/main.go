@@ -17,6 +17,10 @@ import (
 	"syscall"
 	"time"
 
+	"crypto/rand"
+
+	"github.com/eactors/eactors-go/internal/pos"
+	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/xmpp"
 )
 
@@ -34,11 +38,27 @@ func run() error {
 	enclaves := flag.Int("enclaves", 1, "number of enclaves hosting the XMPP eactors (when trusted)")
 	rooms := flag.String("rooms", "", "comma-separated group chats confined to dedicated enclaves")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
+	metrics := flag.String("metrics", "", "serve telemetry over HTTP at this address, e.g. :9090 (enables telemetry)")
+	directory := flag.Bool("directory", true, "keep the online directory in a sealed persistent object store (the paper's Section 5.1 design)")
 	flag.Parse()
 
 	var dedicated []string
 	if *rooms != "" {
 		dedicated = strings.Split(*rooms, ",")
+	}
+	var dirStore *pos.Store
+	if *directory {
+		// The online directory is ephemeral per boot, so a fresh sealing
+		// key each start is correct.
+		var key [32]byte
+		if _, err := rand.Read(key[:]); err != nil {
+			return err
+		}
+		var err error
+		if dirStore, err = pos.Open(pos.Options{SizeBytes: 8 << 20, EncryptionKey: &key}); err != nil {
+			return fmt.Errorf("directory store: %w", err)
+		}
+		defer dirStore.Close()
 	}
 	srv, err := xmpp.Start(xmpp.Options{
 		ListenAddr:     *listen,
@@ -46,6 +66,8 @@ func run() error {
 		Trusted:        *trusted,
 		EnclaveCount:   *enclaves,
 		DedicatedRooms: dedicated,
+		DirectoryStore: dirStore,
+		Telemetry:      *metrics != "",
 	})
 	if err != nil {
 		return err
@@ -53,6 +75,14 @@ func run() error {
 	defer srv.Stop()
 	fmt.Printf("xmppserver: listening on %s (shards=%d trusted=%v enclaves=%d)\n",
 		srv.Addr(), *shards, *trusted, *enclaves)
+	if *metrics != "" {
+		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry())
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer stopHTTP()
+		fmt.Printf("xmppserver: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -139,6 +139,7 @@ func PingPongEA(pairs, size int, costs *sgx.CostModel, encrypted bool) (time.Dur
 		Workers:     []core.WorkerSpec{{}, {}},
 		PoolNodes:   16,
 		NodePayload: size + 64,
+		Telemetry:   Telemetry,
 		Channels: []core.ChannelSpec{{
 			Name: "pp", A: "ping", B: "pong", Plaintext: !encrypted, Capacity: 4,
 		}},
@@ -253,6 +254,7 @@ func PingPongEABatched(pairs, size, batch int, costs *sgx.CostModel, encrypted b
 		Workers:     []core.WorkerSpec{{}, {}},
 		PoolNodes:   2*capacity + 8,
 		NodePayload: size + 64,
+		Telemetry:   Telemetry,
 		Channels: []core.ChannelSpec{{
 			Name: "pp", A: "ping", B: "pong", Plaintext: !encrypted, Capacity: capacity,
 		}},

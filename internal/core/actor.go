@@ -13,10 +13,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"github.com/eactors/eactors-go/internal/mem"
 	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
 // Body is an eactor body function: invoked repeatedly by the runtime, it
@@ -55,15 +57,18 @@ type Spec struct {
 // actorInstance binds a Spec to its resolved runtime resources.
 type actorInstance struct {
 	spec      Spec
+	tag       uint32       // dense id for flight-recorder events
 	enclave   *sgx.Enclave // nil when untrusted
 	self      *Self
 	worker    *Worker
 	endpoints map[string]*Endpoint
 
 	// failed parks the actor after a body panic (blast-radius
-	// containment); failure records the panic value.
+	// containment); failure records the panic value and dump captures
+	// the owning worker's flight recorder at the moment of the park.
 	failed  atomic.Bool
 	failure string
+	dump    []telemetry.Event
 }
 
 // Self is the handle passed to an eactor's Init and Body; it provides
@@ -108,6 +113,18 @@ func (s *Self) Channel(name string) (*Endpoint, error) {
 		return nil, fmt.Errorf("core: actor %q has no endpoint on channel %q", s.Name(), name)
 	}
 	return ep, nil
+}
+
+// Endpoints returns all of the eactor's channel endpoints, sorted by
+// channel name. System eactors that serve any peer wired to them (the
+// MONITOR) iterate it instead of naming channels up front.
+func (s *Self) Endpoints() []*Endpoint {
+	eps := make([]*Endpoint, 0, len(s.inst.endpoints))
+	for _, ep := range s.inst.endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i].ch.name < eps[j].ch.name })
+	return eps
 }
 
 // MustChannel is Channel for constructor use, where a missing channel is

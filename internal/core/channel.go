@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/mem"
+	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
 // Channel-layer errors.
@@ -43,6 +45,7 @@ type Channel struct {
 	name      string
 	a, b      string // endpoint actor names
 	encrypted bool
+	tag       uint32 // dense id for flight-recorder events
 	ab, ba    *mem.Mbox
 	epA, epB  *Endpoint
 }
@@ -99,6 +102,16 @@ type Endpoint struct {
 	batch       []*mem.Node // node staging for the batch fast path
 	scratchIdle int         // consecutive small scratch uses (see noteScratchUse)
 
+	// Telemetry (all nil/zero unless Config.Telemetry): m gates the
+	// instrumented paths, shard is the owning worker's counter shard,
+	// rec its flight recorder, sendNs the per-channel sampled latency
+	// histogram and sampleTick the owner-thread-local sampling counter.
+	m          *metrics
+	shard      int
+	rec        *telemetry.Recorder
+	sendNs     *telemetry.Histogram
+	sampleTick uint32
+
 	sent         atomic.Uint64
 	received     atomic.Uint64
 	sendFailures atomic.Uint64
@@ -129,6 +142,47 @@ func (e *Endpoint) MaxPayload() int {
 	return capacity
 }
 
+// maybeSample starts a latency sample on 1 in 16 operations when
+// telemetry is enabled, returning the zero time otherwise (which
+// Histogram.ObserveSince ignores). The tick counter is owner-thread-
+// local, so sampling is free of synchronisation; the skipped iterations
+// avoid the two time.Now calls that would otherwise dominate the
+// instrumentation budget of the message fast path.
+func (e *Endpoint) maybeSample() time.Time {
+	if e.m == nil {
+		return time.Time{}
+	}
+	e.sampleTick++
+	if e.sampleTick&latencySampleMask != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// noteSent traces a successful send of n messages. Traffic totals come
+// from the endpoint atomics at read time; only the sampled operations
+// (start non-zero, 1 in 16) pay for the flight-recorder event and the
+// latency observation, so the per-message fast path costs no timestamp.
+func (e *Endpoint) noteSent(n int, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	e.rec.Record(telemetry.EvEnqueue, e.ch.tag, uint64(n))
+	e.sendNs.ObserveSince(start)
+}
+
+// noteRecv traces a successful receive of n messages, decimated 1-in-16
+// by the owner-local tick like noteSent.
+func (e *Endpoint) noteRecv(n int) {
+	if e.m == nil {
+		return
+	}
+	e.sampleTick++
+	if e.sampleTick&latencySampleMask == 0 {
+		e.rec.Record(telemetry.EvDequeue, e.ch.tag, uint64(n))
+	}
+}
+
 // Send transmits a copy of payload to the peer eactor: it takes a node
 // from the pool, fills (and on encrypted channels seals) the payload,
 // and enqueues it — the paper's send path (Figure 3).
@@ -136,13 +190,21 @@ func (e *Endpoint) Send(payload []byte) error {
 	if len(payload) > e.MaxPayload() {
 		return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), e.MaxPayload())
 	}
+	start := e.maybeSample()
 	node := e.pool.Get()
 	if node == nil {
 		e.sendFailures.Add(1)
 		return ErrPoolExhausted
 	}
 	if e.cipher != nil {
+		var sealStart time.Time
+		if !start.IsZero() {
+			sealStart = time.Now()
+		}
 		blob := e.cipher.Seal(node.Buf()[:0], payload, nil)
+		if !sealStart.IsZero() {
+			e.m.sealNs.ObserveSince(sealStart)
+		}
 		if err := node.SetLen(len(blob)); err != nil {
 			_ = e.pool.Put(node)
 			return err
@@ -157,6 +219,7 @@ func (e *Endpoint) Send(payload []byte) error {
 		return ErrChannelFull
 	}
 	e.sent.Add(1)
+	e.noteSent(1, start)
 	if e.peerWake != nil {
 		e.peerWake()
 	}
@@ -171,12 +234,20 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 	if node == nil {
 		return errors.New("core: SendNode(nil)")
 	}
+	start := e.maybeSample()
 	if e.cipher != nil {
 		if node.Len() > e.MaxPayload() {
 			return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, node.Len(), e.MaxPayload())
 		}
+		var sealStart time.Time
+		if !start.IsZero() {
+			sealStart = time.Now()
+		}
 		e.scratch = append(e.scratch[:0], node.Payload()...)
 		blob := e.cipher.Seal(node.Buf()[:0], e.scratch, nil)
+		if !sealStart.IsZero() {
+			e.m.sealNs.ObserveSince(sealStart)
+		}
 		e.noteScratchUse(len(e.scratch))
 		if err := node.SetLen(len(blob)); err != nil {
 			return err
@@ -187,6 +258,7 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 		return ErrChannelFull
 	}
 	e.sent.Add(1)
+	e.noteSent(1, start)
 	if e.peerWake != nil {
 		e.peerWake()
 	}
@@ -236,11 +308,16 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 			return 0, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(p), maxPayload)
 		}
 	}
+	start := e.maybeSample()
 	nodes := e.nodeSlots(len(payloads))
 	got := e.pool.GetBatch(nodes)
 	if got == 0 {
 		e.sendFailures.Add(1)
 		return 0, ErrPoolExhausted
+	}
+	var sealStart time.Time
+	if !start.IsZero() && e.cipher != nil {
+		sealStart = time.Now()
 	}
 	for i := 0; i < got; i++ {
 		node := nodes[i]
@@ -251,12 +328,20 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 			_ = node.SetPayload(payloads[i])
 		}
 	}
+	if !sealStart.IsZero() {
+		// One timed pass over the burst, attributed per payload.
+		e.m.sealNs.Observe(uint64(time.Since(sealStart)) / uint64(got))
+	}
 	sent := e.out.EnqueueBatch(nodes[:got])
 	if sent < got {
 		_ = e.pool.PutBatch(nodes[sent:got])
 	}
 	if sent > 0 {
 		e.sent.Add(uint64(sent))
+		e.noteSent(sent, start)
+		if e.m != nil {
+			e.m.sendBatch.Observe(uint64(sent))
+		}
 		if e.peerWake != nil {
 			e.peerWake()
 		}
@@ -297,6 +382,14 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 		return 0, nil
 	}
 	e.received.Add(uint64(got))
+	e.noteRecv(got)
+	if e.m != nil {
+		e.m.recvBatch.Observe(uint64(got))
+	}
+	var openStart time.Time
+	if e.cipher != nil {
+		openStart = e.maybeSample()
+	}
 	delivered, maxUse := 0, 0
 	var firstErr error
 	fail := func(err error) {
@@ -329,6 +422,10 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 		lens[delivered] = copy(bufs[delivered], payload)
 		delivered++
 	}
+	if !openStart.IsZero() {
+		// One timed sweep over the burst, attributed per message.
+		e.m.openNs.Observe(uint64(time.Since(openStart)) / uint64(got))
+	}
 	if err := e.pool.PutBatch(nodes[:got]); err != nil {
 		fail(err)
 	}
@@ -347,6 +444,7 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 		return 0, false, nil
 	}
 	e.received.Add(1)
+	e.noteRecv(1)
 	defer func() {
 		if putErr := e.pool.Put(node); putErr != nil && err == nil {
 			err = putErr
@@ -354,9 +452,13 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 	}()
 	payload := node.Payload()
 	if e.cipher != nil {
+		openStart := e.maybeSample()
 		plain, openErr := e.cipher.Open(e.scratch[:0], payload, nil)
 		if openErr != nil {
 			return 0, true, openErr
+		}
+		if !openStart.IsZero() {
+			e.m.openNs.ObserveSince(openStart)
 		}
 		e.scratch = plain
 		e.noteScratchUse(len(plain))
@@ -380,11 +482,16 @@ func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
 		return nil, false, nil
 	}
 	e.received.Add(1)
+	e.noteRecv(1)
 	if e.cipher != nil {
+		openStart := e.maybeSample()
 		plain, err := e.cipher.Open(e.scratch[:0], node.Payload(), nil)
 		if err != nil {
 			_ = e.pool.Put(node)
 			return nil, true, err
+		}
+		if !openStart.IsZero() {
+			e.m.openNs.ObserveSince(openStart)
 		}
 		if seqErr := e.checkSeq(node.Payload()); seqErr != nil {
 			_ = e.pool.Put(node)

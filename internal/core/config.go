@@ -93,6 +93,18 @@ type Config struct {
 	// throughput-bound single-actor workers, lower it for fairness
 	// under mixed latency-sensitive actors.
 	DrainBudget int
+
+	// Telemetry enables the observability subsystem: sharded counters,
+	// latency histograms and a per-worker flight recorder, exposed
+	// through Runtime.Telemetry (Prometheus/pprof HTTP) and the MONITOR
+	// system eactor. Disabled, every instrumentation site reduces to one
+	// nil check; enabled, hot-path latency sampling keeps the overhead
+	// within ~10% on the message fast path (see DESIGN.md §Observability).
+	Telemetry bool
+
+	// TelemetryRecorderSize is the per-worker flight-recorder ring size
+	// in events (power of two, telemetry.DefaultRecorderSize when zero).
+	TelemetryRecorderSize int
 }
 
 // MemoryFootprint estimates the bytes the deployment preallocates:
@@ -186,6 +198,9 @@ func (c *Config) validate() error {
 	}
 	if c.DrainBudget < 0 {
 		return fmt.Errorf("core: negative drain budget")
+	}
+	if c.TelemetryRecorderSize < 0 {
+		return fmt.Errorf("core: negative telemetry recorder size")
 	}
 	return nil
 }

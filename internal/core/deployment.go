@@ -164,4 +164,3 @@ func (d *Deployment) Resolve(registry Registry) (Config, error) {
 	}
 	return cfg, nil
 }
-

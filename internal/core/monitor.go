@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/telemetry"
+)
+
+// MonitorSpec returns the MONITOR system eactor: a query/response service
+// over ordinary channels, so any eactor — trusted or not — can inspect the
+// running system through the same uniform communication primitive it uses
+// for everything else (the paper's system-eactor pattern, Section 4).
+//
+// Wire a channel from any eactor to the monitor and send it one of the
+// plain-text queries below; the answer comes back on the same channel,
+// truncated to the channel's MaxPayload.
+//
+//	stats          totals and latency quantiles of every registered metric
+//	rates          per-second rates of the headline counters since the
+//	               previous rates query
+//	report         deployment snapshot: workers, channels, enclaves,
+//	               failed actors
+//	dump           the system flight recorder (evictions, background events)
+//	dump <worker>  worker <worker>'s flight recorder, oldest first
+//	dump <actor>   the dump captured when <actor>'s body panicked
+//
+// The monitor is an ordinary eactor: place it on a lightly loaded worker
+// and, if its answers must be confidential, inside an enclave (set
+// Spec.Enclave on the returned value) — queries then travel encrypted
+// like any cross-enclave traffic.
+func MonitorSpec(name string, worker int) Spec {
+	return Spec{
+		Name:   name,
+		Worker: worker,
+		State:  &monitorState{meters: make(map[string]*telemetry.Meter)},
+		Body:   monitorBody,
+	}
+}
+
+type monitorState struct {
+	meters map[string]*telemetry.Meter
+	req    []byte
+}
+
+// rateCounters are the headline counters the rates query reports.
+var rateCounters = []string{
+	"eactors_worker_invocations",
+	"eactors_channel_msgs_sent",
+	"eactors_channel_msgs_recv",
+	"eactors_sgx_crossings",
+}
+
+func monitorBody(self *Self) {
+	st := self.State.(*monitorState)
+	for _, ep := range self.Endpoints() {
+		if cap(st.req) < ep.MaxPayload() {
+			st.req = make([]byte, ep.MaxPayload())
+		}
+		for {
+			n, ok, err := ep.Recv(st.req[:ep.MaxPayload()])
+			if !ok {
+				break
+			}
+			self.Progress()
+			if err != nil {
+				continue
+			}
+			reply := st.answer(self, strings.TrimSpace(string(st.req[:n])))
+			if len(reply) > ep.MaxPayload() {
+				reply = reply[:ep.MaxPayload()]
+			}
+			// A full reply direction drops the answer; the client's next
+			// query gets a fresh one. Monitoring must never block.
+			_ = ep.Send(reply)
+		}
+	}
+}
+
+func (st *monitorState) answer(self *Self, query string) []byte {
+	reg := self.Runtime().Telemetry()
+	if reg == nil {
+		return []byte("error: telemetry disabled (set Config.Telemetry)")
+	}
+	var buf bytes.Buffer
+	cmd, arg, _ := strings.Cut(query, " ")
+	switch cmd {
+	case "stats":
+		reg.WriteSummary(&buf)
+	case "rates":
+		now := time.Now()
+		for _, name := range rateCounters {
+			total, ok := reg.CounterValue(name)
+			if !ok {
+				continue
+			}
+			m := st.meters[name]
+			if m == nil {
+				m = &telemetry.Meter{}
+				st.meters[name] = m
+			}
+			fmt.Fprintf(&buf, "%s/s %.1f\n", name, m.Update(total, now))
+		}
+	case "report":
+		writeReport(&buf, self.Runtime().Report())
+	case "dump":
+		st.writeDump(&buf, self, strings.TrimSpace(arg))
+	default:
+		fmt.Fprintf(&buf, "error: unknown query %q (stats|rates|report|dump [worker|actor])", query)
+	}
+	return buf.Bytes()
+}
+
+func (st *monitorState) writeDump(buf *bytes.Buffer, self *Self, arg string) {
+	rt := self.Runtime()
+	reg := rt.Telemetry()
+	switch {
+	case arg == "":
+		buf.WriteString(telemetry.FormatDump(reg.SystemRecorder().Dump(0)))
+	default:
+		if w, err := strconv.Atoi(arg); err == nil && w >= 0 && w < len(rt.workers) {
+			buf.WriteString(telemetry.FormatDump(reg.Recorder(w).Dump(0)))
+			return
+		}
+		if dump := rt.ActorFlightDump(arg); dump != nil {
+			buf.WriteString(telemetry.FormatDump(dump))
+			return
+		}
+		fmt.Fprintf(buf, "error: %q is neither a worker index nor a failed actor", arg)
+	}
+}
+
+// writeReport renders a Report in the monitor's line-oriented text form.
+func writeReport(buf *bytes.Buffer, r Report) {
+	for _, w := range r.Workers {
+		fmt.Fprintf(buf, "worker %d actors=%s crossings=%d invocations=%d invoke_p50=%dns invoke_p99=%dns\n",
+			w.ID, strings.Join(w.Actors, ","), w.Crossings, w.Invocations, w.InvokeP50Ns, w.InvokeP99Ns)
+	}
+	for _, ch := range r.Channels {
+		fmt.Fprintf(buf, "channel %s a2b=%d b2a=%d failures=%d pending=%d send_p50=%dns send_p99=%dns\n",
+			ch.Name, ch.Stats.AToB, ch.Stats.BToA, ch.Stats.SendFailures, ch.Stats.Pending, ch.SendP50Ns, ch.SendP99Ns)
+	}
+	for _, e := range r.Enclaves {
+		fmt.Fprintf(buf, "enclave %s pages=%d private_pool_free=%d\n", e.Name, e.PagesResident, e.PrivatePoolFree)
+	}
+	fmt.Fprintf(buf, "pool_free %d\n", r.PublicPoolFree)
+	fmt.Fprintf(buf, "sgx crossings=%d ecalls=%d ocalls=%d copied=%d evicted=%d\n",
+		r.Platform.Crossings, r.Platform.ECalls, r.Platform.OCalls, r.Platform.CopiedBytes, r.Platform.EvictedPages)
+	if len(r.FailedActors) > 0 {
+		fmt.Fprintf(buf, "failed %s\n", strings.Join(r.FailedActors, ","))
+	}
+}

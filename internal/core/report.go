@@ -24,19 +24,36 @@ type Report struct {
 	Platform sgx.Stats
 }
 
-// WorkerReport describes one worker.
+// WorkerReport describes one worker. The latency fields are read from
+// the telemetry registry's per-worker body-invocation histogram and stay
+// zero when Config.Telemetry is off — the report and the registry share
+// the same underlying instruments, so the two never disagree.
 type WorkerReport struct {
 	ID        int
 	Actors    []string
 	Crossings uint64
+
+	// Invocations counts completed body invocations (telemetry only).
+	Invocations uint64
+	// InvokeP50Ns / InvokeP99Ns are body-invocation latency quantiles in
+	// nanoseconds (telemetry only; bucketed, so upper-bound estimates).
+	InvokeP50Ns uint64
+	InvokeP99Ns uint64
 }
 
-// ChannelReport describes one channel's traffic.
+// ChannelReport describes one channel's traffic. The latency quantiles
+// come from the channel's sampled send histogram in the telemetry
+// registry and stay zero when Config.Telemetry is off.
 type ChannelReport struct {
 	Name      string
 	A, B      string
 	Encrypted bool
 	Stats     ChannelStats
+
+	// SendP50Ns / SendP99Ns are send-operation latency quantiles in
+	// nanoseconds, sampled 1 in 16 (telemetry only).
+	SendP50Ns uint64
+	SendP99Ns uint64
 }
 
 // EnclaveReport describes one enclave's footprint.
@@ -57,18 +74,31 @@ func (rt *Runtime) Report() Report {
 		Platform:       rt.platform.Snapshot(),
 	}
 	for _, w := range rt.workers {
-		r.Workers = append(r.Workers, WorkerReport{
+		wr := WorkerReport{
 			ID:        w.ID(),
 			Actors:    w.Actors(),
 			Crossings: w.Context().Crossings(),
-		})
+		}
+		if rt.m != nil {
+			snap := rt.m.invokeNs[w.ID()].Snapshot()
+			wr.Invocations = snap.Count
+			wr.InvokeP50Ns = snap.Quantile(0.50)
+			wr.InvokeP99Ns = snap.Quantile(0.99)
+		}
+		r.Workers = append(r.Workers, wr)
 	}
 	for name, ch := range rt.channels {
-		r.Channels = append(r.Channels, ChannelReport{
+		cr := ChannelReport{
 			Name: name, A: ch.a, B: ch.b,
 			Encrypted: ch.encrypted,
 			Stats:     ch.Stats(),
-		})
+		}
+		if rt.m != nil {
+			snap := ch.epA.sendNs.Snapshot()
+			cr.SendP50Ns = snap.Quantile(0.50)
+			cr.SendP99Ns = snap.Quantile(0.99)
+		}
+		r.Channels = append(r.Channels, cr)
 	}
 	sort.Slice(r.Channels, func(i, j int) bool { return r.Channels[i].Name < r.Channels[j].Name })
 	for name, e := range rt.enclaves {

@@ -8,6 +8,7 @@ import (
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/mem"
 	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
 // Runtime realises a Config: it creates the enclaves, preallocates the
@@ -30,6 +31,11 @@ type Runtime struct {
 	// privatePools holds the per-enclave pools of EnclaveSpecs that
 	// requested one; same-enclave channels draw from them.
 	privatePools map[string]*mem.Pool
+
+	// tel and m are the observability subsystem; both nil unless
+	// Config.Telemetry was set.
+	tel *telemetry.Registry
+	m   *metrics
 
 	mu      sync.Mutex
 	started bool
@@ -99,6 +105,11 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		channels: make(map[string]*Channel, len(cfg.Channels)),
 		stopCh:   make(chan struct{}),
 	}
+	if cfg.Telemetry {
+		rt.tel = telemetry.New(len(cfg.Workers), cfg.TelemetryRecorderSize)
+		rt.m = newMetrics(rt.tel, len(cfg.Workers))
+		platform.AttachTelemetry(rt.tel)
+	}
 
 	// Enclaves (plus their private pools, whose memory is charged to the
 	// enclave's EPC footprint).
@@ -128,10 +139,12 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		}
 	}
 
-	// Actor instances.
-	for _, spec := range cfg.Actors {
+	// Actor instances. Tags are small dense ids the flight recorder uses
+	// in place of names (events are two words, not strings).
+	for tag, spec := range cfg.Actors {
 		inst := &actorInstance{
 			spec:      spec,
+			tag:       uint32(tag),
 			endpoints: make(map[string]*Endpoint),
 		}
 		if spec.Enclave != "" {
@@ -163,6 +176,11 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		if rt.workers[i].drainBudget == 0 {
 			rt.workers[i].drainBudget = DefaultDrainBudget
 		}
+		if rt.m != nil {
+			rt.workers[i].m = rt.m
+			rt.workers[i].rec = rt.tel.Recorder(i)
+			rt.workers[i].ctx.AttachTelemetry(i, rt.workers[i].rec)
+		}
 	}
 	for _, spec := range cfg.Actors {
 		w := rt.workers[spec.Worker]
@@ -180,6 +198,9 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		}
 	}
 
+	if rt.tel != nil {
+		rt.registerRuntimeFuncs()
+	}
 	return rt, nil
 }
 
@@ -212,9 +233,19 @@ func (rt *Runtime) buildChannel(cs ChannelSpec) error {
 			pool = private
 		}
 	}
-	ch := &Channel{name: cs.Name, a: cs.A, b: cs.B, encrypted: encrypted, ab: ab, ba: ba}
+	ch := &Channel{name: cs.Name, a: cs.A, b: cs.B, encrypted: encrypted, ab: ab, ba: ba, tag: uint32(len(rt.channels))}
 	epA := &Endpoint{ch: ch, out: ab, in: ba, pool: pool, peerWake: instB.worker.Wake}
 	epB := &Endpoint{ch: ch, out: ba, in: ab, pool: pool, peerWake: instA.worker.Wake}
+	if rt.m != nil {
+		// Endpoints are single-owner (their actor's worker), so each
+		// carries its owner's shard index and flight recorder; the
+		// sampled send-latency histogram is shared per channel.
+		sendNs := rt.tel.Histogram(
+			fmt.Sprintf("eactors_channel_send_ns{channel=%q}", cs.Name),
+			"send operation latency, sampled 1/16", "ns")
+		epA.m, epA.shard, epA.rec, epA.sendNs = rt.m, instA.worker.id, rt.tel.Recorder(instA.worker.id), sendNs
+		epB.m, epB.shard, epB.rec, epB.sendNs = rt.m, instB.worker.id, rt.tel.Recorder(instB.worker.id), sendNs
+	}
 
 	if encrypted {
 		key, err := rt.channelKey(instA, instB)
@@ -237,6 +268,9 @@ func (rt *Runtime) buildChannel(cs ChannelSpec) error {
 	instA.endpoints[cs.Name] = epA
 	instB.endpoints[cs.Name] = epB
 	rt.channels[cs.Name] = ch
+	if rt.tel != nil {
+		rt.registerChannelFuncs(ch)
+	}
 	return nil
 }
 

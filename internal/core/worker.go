@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
 // Worker executes a set of eactors round-robin on a dedicated OS thread
@@ -32,6 +33,11 @@ type Worker struct {
 	// worker's sleep is at the mercy of the scheduler's poll granularity
 	// (~1ms), which would put a millisecond on every message hop.
 	doorbell chan struct{}
+
+	// m and rec are the telemetry instruments and this worker's flight
+	// recorder; both nil unless Config.Telemetry was set.
+	m   *metrics
+	rec *telemetry.Recorder
 
 	stop chan struct{}
 	done chan struct{}
@@ -72,13 +78,38 @@ func (w *Worker) invoke(a *actorInstance) {
 			// The failure text must be in place before the flag flips:
 			// the atomic store releases it, so any reader that observes
 			// failed==true (ActorFailure, report.go) sees the complete
-			// string rather than a torn/empty one.
+			// string rather than a torn/empty one. The flight-recorder
+			// dump rides the same release: it is captured — including
+			// the park event itself — before the store, so the post-
+			// mortem (ActorFlightDump) shows what the worker did right
+			// up to the panic.
 			a.failure = fmt.Sprintf("%v", r)
+			if w.m != nil {
+				w.m.parks.Inc(w.id)
+				w.rec.Record(telemetry.EvPark, a.tag, 0)
+				a.dump = w.rec.Dump(0)
+			}
 			a.failed.Store(true)
 			w.rt.actorFailed(a.spec.Name)
 		}
 	}()
+	if w.m == nil {
+		a.spec.Body(a.self)
+		return
+	}
+	start := time.Now()
 	a.spec.Body(a.self)
+	elapsed := uint64(time.Since(start))
+	w.m.invocations.Inc(w.id)
+	w.m.invokeNs[w.id].Observe(elapsed)
+	w.rec.Record(telemetry.EvInvoke, a.tag, elapsed)
+	if a.self.drainLeft == 0 && w.drainBudget > 0 {
+		// The body consumed its entire RecvBatch allowance: a flooded
+		// mailbox. Frequent exhaustion is the signal to raise
+		// Config.DrainBudget (or add workers).
+		w.m.drainExhaust.Inc(w.id)
+		w.rec.Record(telemetry.EvDrainExhaust, a.tag, uint64(w.drainBudget))
+	}
 }
 
 // idleWait parks the worker until its doorbell rings, the idle-sleep
@@ -91,9 +122,17 @@ func (w *Worker) idleWait(timer *time.Timer) {
 		return
 	default:
 	}
+	if w.m != nil {
+		w.m.idles.Inc(w.id)
+		w.rec.Record(telemetry.EvIdle, 0, 0)
+	}
 	timer.Reset(w.idleSleep)
 	select {
 	case <-w.doorbell:
+		if w.m != nil {
+			w.m.wakes.Inc(w.id)
+			w.rec.Record(telemetry.EvWake, 0, 0)
+		}
 	case <-timer.C:
 		return
 	case <-w.stop:

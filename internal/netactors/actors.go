@@ -92,6 +92,7 @@ func (s *System) OpenerSpec(name string, worker int, channels ...string) core.Sp
 						continue
 					}
 					sock := table.AddConn(conn)
+					table.stats.dials.Add(1)
 					reply(ep, Msg{Type: MsgOpenOK, Sock: sock.id}, &scratch)
 				}
 			}

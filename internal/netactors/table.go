@@ -15,11 +15,23 @@ const inboxCap = 256
 // readBufBytes is the pump's per-read buffer size.
 const readBufBytes = 2048
 
+// tableStats are the table-wide traffic counters. They live on the Table
+// (sockets hold a pointer) so the totals survive socket teardown; the
+// telemetry registry reads them at scrape time.
+type tableStats struct {
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+	dials    atomic.Uint64
+	accepts  atomic.Uint64
+	dropped  atomic.Uint64
+}
+
 // Socket wraps one connection or listener registered in a Table.
 type Socket struct {
-	id   uint32
-	conn net.Conn
-	lis  net.Listener
+	id    uint32
+	conn  net.Conn
+	lis   net.Listener
+	stats *tableStats
 
 	inbox    chan []byte // filled by the read pump
 	accepted chan uint32 // filled by the accept pump (listeners)
@@ -56,6 +68,8 @@ type Table struct {
 	socks map[uint32]*Socket
 
 	writeDeadline time.Duration
+
+	stats tableStats
 }
 
 // NewTable creates an empty socket table.
@@ -77,6 +91,7 @@ func (t *Table) AddConn(conn net.Conn) *Socket {
 	s := &Socket{
 		id:     t.next,
 		conn:   conn,
+		stats:  &t.stats,
 		inbox:  make(chan []byte, inboxCap),
 		outbox: make(chan []byte, inboxCap),
 		quit:   make(chan struct{}),
@@ -93,6 +108,7 @@ func (t *Table) AddListener(lis net.Listener) *Socket {
 	s := &Socket{
 		id:       t.next,
 		lis:      lis,
+		stats:    &t.stats,
 		accepted: make(chan uint32, inboxCap),
 		quit:     make(chan struct{}),
 	}
@@ -186,6 +202,7 @@ func (s *Socket) startReadPump() {
 				buf := make([]byte, readBufBytes)
 				n, err := s.conn.Read(buf)
 				if n > 0 {
+					s.stats.bytesIn.Add(uint64(n))
 					select {
 					case s.inbox <- buf[:n]: // full queue applies backpressure
 					case <-s.quit:
@@ -216,6 +233,7 @@ func (s *Socket) startAcceptPump(t *Table) {
 					return
 				}
 				ns := t.AddConn(conn)
+				t.stats.accepts.Add(1)
 				s.accepted <- ns.id
 				s.ringWake()
 			}
@@ -238,7 +256,9 @@ func (s *Socket) startWritePump(deadline time.Duration) {
 					if deadline > 0 {
 						_ = s.conn.SetWriteDeadline(time.Now().Add(deadline))
 					}
-					if _, err := s.conn.Write(frame); err != nil {
+					n, err := s.conn.Write(frame)
+					s.stats.bytesOut.Add(uint64(n))
+					if err != nil {
 						return // read pump reports the failure as EOF
 					}
 				case <-s.quit:
@@ -265,6 +285,19 @@ func (t *Table) Write(id uint32, data []byte) error {
 		return nil
 	default:
 		s.dropped.Add(1)
+		t.stats.dropped.Add(1)
 		return errBackpressure
 	}
+}
+
+// queueDepth sums the queued inbound and outbound frames of every
+// registered socket — the aggregate per-connection backlog.
+func (t *Table) queueDepth() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var depth int
+	for _, s := range t.socks {
+		depth += len(s.inbox) + len(s.outbox)
+	}
+	return uint64(depth)
 }

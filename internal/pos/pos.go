@@ -112,6 +112,9 @@ type Store struct {
 	sets    atomic.Uint64
 	gets    atomic.Uint64
 	cleaned atomic.Uint64
+
+	// tel is nil until AttachTelemetry (see telemetry.go).
+	tel atomic.Pointer[storeTelemetry]
 }
 
 func addrOf(b []byte) uintptr {
@@ -359,6 +362,7 @@ func (s *Store) Set(key, value []byte) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	defer s.observeSet(s.opStart())
 	storedKey, storedValue, err := s.encode(key, value)
 	if err != nil {
 		return err
@@ -418,6 +422,7 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 	if s.closed.Load() {
 		return nil, false, ErrClosed
 	}
+	defer s.observeGet(s.opStart())
 	s.gets.Add(1)
 	storedKey := s.lookupKey(key)
 	b := s.bucketOf(storedKey)
@@ -478,6 +483,7 @@ func (s *Store) Sync() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	defer s.observeSync(s.opStart())
 	return s.syncer()
 }
 

@@ -3,6 +3,8 @@ package sgx
 import (
 	"errors"
 	"fmt"
+
+	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
 // Context is a per-thread execution context tracking which enclave the
@@ -19,6 +21,11 @@ type Context struct {
 
 	// crossings counts the crossings performed by this context alone.
 	crossings uint64
+
+	// shard and rec are set by AttachTelemetry (see telemetry.go); rec
+	// traces each crossing as an EvCrossing flight-recorder event.
+	shard int
+	rec   *telemetry.Recorder
 }
 
 // NewContext returns a context starting in the untrusted application.
@@ -80,5 +87,9 @@ func (c *Context) Exit() {
 
 func (c *Context) cross() {
 	c.crossings++
-	c.platform.chargeCrossing()
+	d := c.platform.chargeCrossing()
+	if c.rec != nil {
+		// ID is the domain crossed out of / into (c.cur at call time).
+		c.rec.Record(telemetry.EvCrossing, uint32(c.cur), uint64(d))
+	}
 }

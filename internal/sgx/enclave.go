@@ -116,6 +116,7 @@ func (e *Enclave) AllocPages(n int) error {
 			evict = over
 		}
 		p.evictedPages.Add(uint64(evict))
+		p.noteEviction(e.id, evict)
 		p.costs.ChargeCycles(float64(evict) * float64(p.costs.PageEvictCycles))
 	}
 	return nil
@@ -155,5 +156,6 @@ func (e *Enclave) TouchPages(n int) {
 		return
 	}
 	p.evictedPages.Add(uint64(misses))
+	p.noteEviction(e.id, misses)
 	p.costs.ChargeCycles(float64(misses) * float64(p.costs.PageEvictCycles))
 }

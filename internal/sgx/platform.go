@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // EnclaveID identifies an enclave on a Platform. The zero value denotes
@@ -51,6 +52,10 @@ type Platform struct {
 	mu       sync.RWMutex
 	enclaves map[EnclaveID]*Enclave
 	nextID   uint32
+
+	// tel is nil until AttachTelemetry; charge paths pay one atomic
+	// pointer load to find out.
+	tel atomic.Pointer[platformTelemetry]
 
 	crossings    atomic.Uint64
 	ecalls       atomic.Uint64
@@ -145,6 +150,9 @@ func (p *Platform) CreateEnclave(name string, sizeBytes int) (*Enclave, error) {
 		// EPC (EADD + EEXTEND); charge one cold copy per page.
 		p.costs.ChargeCycles(float64(pages) * p.costs.CopyCyclesPerByteCold * PageBytes)
 	}
+	if t := p.tel.Load(); t != nil {
+		t.registerEnclaveGauge(e)
+	}
 	return e, nil
 }
 
@@ -216,10 +224,16 @@ func (s Stats) Delta(earlier Stats) Stats {
 	}
 }
 
-// chargeCrossing burns one boundary-crossing cost and counts it.
-func (p *Platform) chargeCrossing() {
+// chargeCrossing burns one boundary-crossing cost and counts it. It
+// returns the charged duration so contexts can trace it.
+func (p *Platform) chargeCrossing() time.Duration {
 	p.crossings.Add(1)
-	p.costs.ChargeCycles(float64(p.costs.CrossCycles))
+	d := p.costs.CyclesToDuration(float64(p.costs.CrossCycles))
+	if t := p.tel.Load(); t != nil {
+		t.crossNs.Observe(uint64(d))
+	}
+	Spin(d)
+	return d
 }
 
 // chargeCopy burns the marshalling cost for n bytes and counts them.

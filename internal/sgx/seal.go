@@ -23,13 +23,16 @@ const SealOverhead = sealNonceSize + 16
 // can unseal). aad is bound to the blob but not encrypted. The sealed
 // blob layout is nonce || ciphertext+tag.
 func (e *Enclave) Seal(plaintext, aad []byte) ([]byte, error) {
+	start := e.platform.sealOpStart()
 	gcm, err := e.sealAEAD()
 	if err != nil {
 		return nil, err
 	}
 	nonce := make([]byte, sealNonceSize, sealNonceSize+len(plaintext)+gcm.Overhead())
 	e.ReadRand(nonce)
-	return gcm.Seal(nonce, nonce, plaintext, aad), nil
+	blob := gcm.Seal(nonce, nonce, plaintext, aad)
+	e.platform.observeSealOp(false, start)
+	return blob, nil
 }
 
 // Unseal authenticates and decrypts a blob produced by Seal with the same
@@ -38,6 +41,7 @@ func (e *Enclave) Unseal(sealed, aad []byte) ([]byte, error) {
 	if len(sealed) < SealOverhead {
 		return nil, ErrSealTooShort
 	}
+	start := e.platform.sealOpStart()
 	gcm, err := e.sealAEAD()
 	if err != nil {
 		return nil, err
@@ -46,6 +50,7 @@ func (e *Enclave) Unseal(sealed, aad []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sgx: unseal: %w", err)
 	}
+	e.platform.observeSealOp(true, start)
 	return plaintext, nil
 }
 

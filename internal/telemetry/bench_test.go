@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The instrument micro-costs below bound what instrumentation can add to
+// a hot path; EXPERIMENTS.md cites them next to the end-to-end channel
+// overhead numbers.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New(4, 0)
+	c := r.Counter("bench", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(1)
+	}
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New(1, 0)
+	h := r.Histogram("bench", "", "ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	r := New(1, 0)
+	h := r.Histogram("bench", "", "ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(time.Now())
+	}
+}
+
+func BenchmarkRecorderRecord(b *testing.B) {
+	rec := NewRecorder(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(EvEnqueue, 1, 64)
+	}
+}
+
+func BenchmarkRecorderRecordNil(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(EvEnqueue, 1, 64)
+	}
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter converts a monotonically increasing counter into a windowed
+// rate: each Update records the delta since the previous Update and the
+// wall time it covered. MONITOR ticks its meters periodically and
+// answers "rates" queries from the last completed window — the paper's
+// messages-per-second numbers (Figures 14-17) are exactly this shape.
+//
+// A Meter is safe for concurrent use; a nil *Meter is a no-op.
+type Meter struct {
+	mu     sync.Mutex
+	last   uint64
+	lastT  time.Time
+	rate   float64
+	primed bool
+}
+
+// Update feeds the current counter total and returns the per-second
+// rate over the window since the previous Update. The first call primes
+// the meter and returns 0.
+func (m *Meter) Update(total uint64, now time.Time) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.primed {
+		m.last, m.lastT, m.primed = total, now, true
+		return 0
+	}
+	dt := now.Sub(m.lastT).Seconds()
+	if dt <= 0 {
+		return m.rate
+	}
+	delta := total - m.last // monotonic counters; wraparound is theoretical
+	m.rate = float64(delta) / dt
+	m.last, m.lastT = total, now
+	return m.rate
+}
+
+// Rate returns the most recently computed window rate.
+func (m *Meter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/eactors/eactors-go/internal/netactors"
 	"github.com/eactors/eactors-go/internal/pos"
 	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
 // Options configures the EActors XMPP service deployment. As in the
@@ -47,6 +48,12 @@ type Options struct {
 	// Open the store in encrypted mode for confidentiality at rest; the
 	// in-memory directory's sealing option is bypassed.
 	DirectoryStore *pos.Store
+	// Telemetry enables the runtime observability subsystem
+	// (core.Config.Telemetry): worker/channel/SGX metrics, a stanza
+	// routing latency histogram, the networking and service counters, and
+	// per-worker flight recorders. Export via Server.Telemetry — e.g.
+	// telemetry.Serve for the Prometheus/pprof endpoint.
+	Telemetry bool
 }
 
 // Stats are the service counters.
@@ -75,6 +82,10 @@ type Server struct {
 	routed   atomic.Uint64
 	fanout   atomic.Uint64
 	authFail atomic.Uint64
+
+	// routeNs is the stanza routing latency histogram; nil (a telemetry
+	// no-op) unless Options.Telemetry was set.
+	routeNs *telemetry.Histogram
 }
 
 // Addr returns the bound listen address.
@@ -85,6 +96,10 @@ func (s *Server) Online() Directory { return s.online }
 
 // Runtime returns the underlying EActors runtime.
 func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// Telemetry returns the runtime's telemetry registry, or nil when
+// Options.Telemetry was not set.
+func (s *Server) Telemetry() *telemetry.Registry { return s.rt.Telemetry() }
 
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() Stats {
@@ -179,6 +194,17 @@ func Start(opts Options) (*Server, error) {
 		return nil, err
 	}
 	srv.rt = rt
+	if reg := rt.Telemetry(); reg != nil {
+		srv.sys.AttachTelemetry(reg)
+		if opts.DirectoryStore != nil {
+			opts.DirectoryStore.AttachTelemetry(reg)
+		}
+		srv.routeNs = reg.Histogram("eactors_xmpp_route_ns", "stanza routing latency", "ns")
+		reg.CounterFunc("eactors_xmpp_connections", "successful authentications", srv.conns.Load)
+		reg.CounterFunc("eactors_xmpp_routed", "one-to-one messages delivered", srv.routed.Load)
+		reg.CounterFunc("eactors_xmpp_group_fanout", "per-member group-chat deliveries", srv.fanout.Load)
+		reg.CounterFunc("eactors_xmpp_auth_failures", "rejected authentication attempts", srv.authFail.Load)
+	}
 	if err := rt.Start(); err != nil {
 		rt.Stop()
 		return nil, err
@@ -202,6 +228,7 @@ func (srv *Server) buildConfig(opts Options, enclaveCount int) (core.Config, cha
 	cfg := core.Config{
 		PoolNodes:   opts.PoolNodes,
 		NodePayload: opts.NodePayload,
+		Telemetry:   opts.Telemetry,
 	}
 
 	// Workers: 0 = connector, 1 = connector networking, then per shard a

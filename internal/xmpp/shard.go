@@ -2,6 +2,7 @@ package xmpp
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/eactors/eactors-go/internal/core"
 	"github.com/eactors/eactors-go/internal/ecrypto"
@@ -187,6 +188,10 @@ func (srv *Server) shardDrainSession(self *core.Self, st *shardState, sess *sess
 			return
 		}
 		self.Progress()
+		var routeStart time.Time
+		if srv.routeNs != nil {
+			routeStart = time.Now()
+		}
 		switch {
 		case el.Kind == stanza.KindStreamEnd:
 			srv.shardDisconnect(st, closeCh, sess.sock, true)
@@ -202,6 +207,7 @@ func (srv *Server) shardDrainSession(self *core.Self, st *shardState, sess *sess
 		case el.Name == "iq":
 			srv.handleIQ(st, sess, &el, write)
 		}
+		srv.routeNs.ObserveSince(routeStart)
 	}
 }
 
