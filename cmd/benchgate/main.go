@@ -1,0 +1,152 @@
+// Command benchgate compares `go test -bench` output against a
+// committed baseline (BENCH_BASELINE.json) and emits GitHub Actions
+// warning annotations for regressions beyond a threshold. It is
+// deliberately warn-only: absolute ns/op on shared CI runners is too
+// noisy to gate merges on, but a >10% jump on a hot path deserves a
+// visible flag on the run.
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -count 3 ./... | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_BASELINE.json bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update bench.txt
+//
+// With -count N repeats, the best (minimum) ns/op per benchmark is
+// used on both sides of the comparison — the minimum is the least
+// noisy estimator of a benchmark's true cost on a contended machine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed reference: best ns/op per benchmark, plus
+// a note about how it was produced.
+type Baseline struct {
+	Note       string             `json:"note"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkMboxSingle-8   1000000   56.99 ns/op   0 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is optional and stripped: baselines must
+// compare across machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parseBench(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := best[m[1]]; !ok || ns < prev {
+			best[m[1]] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
+	threshold := flag.Float64("threshold", 0.10, "relative ns/op regression that triggers a warning")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("open input: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fatalf("parse bench output: %v", err)
+	}
+	if len(current) == 0 {
+		// An empty run means the bench invocation itself broke (renamed
+		// benchmarks, bad -bench regexp); that must fail loudly.
+		fatalf("no benchmark results found in input")
+	}
+
+	if *update {
+		writeBaseline(*baselinePath, current)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline: %v", err)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	warnings, missing := 0, 0
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := current[name]
+		if !ok {
+			fmt.Printf("::warning::benchgate: %s is in the baseline but was not run\n", name)
+			missing++
+			continue
+		}
+		delta := (got - want) / want
+		status := "ok"
+		if delta > *threshold {
+			fmt.Printf("::warning::benchgate: %s regressed %.1f%%: %.1f ns/op vs %.1f ns/op baseline\n",
+				name, delta*100, got, want)
+			status = "REGRESSED"
+			warnings++
+		}
+		fmt.Printf("%-50s %10.1f ns/op  baseline %10.1f  %+6.1f%%  %s\n", name, got, want, delta*100, status)
+	}
+	fmt.Printf("benchgate: %d benchmarks compared, %d regressions flagged, %d missing (threshold %.0f%%, warn-only)\n",
+		len(names)-missing, warnings, missing, *threshold*100)
+}
+
+func writeBaseline(path string, best map[string]float64) {
+	out := Baseline{
+		Note: "Best-of-N ns/op per benchmark; regenerate with: " +
+			"go test -run xxx -bench <names> -count 3 ./... | go run ./cmd/benchgate -update",
+		Benchmarks: best,
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatalf("encode baseline: %v", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fatalf("write baseline: %v", err)
+	}
+	fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(best), path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

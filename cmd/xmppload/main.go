@@ -134,7 +134,7 @@ func runO2O(server string, clients, payloadBytes int, warmup, duration time.Dura
 						continue
 					}
 				}
-				_ = c.SendMessage(msg.From, msg.Body)
+				_ = c.SendMessage(msg.From, msg.Body) //sendcheck:ok
 			}
 		}(c)
 	}

@@ -96,7 +96,7 @@ func buildRegistry(done chan<- *collectorState) core.Registry {
 			if buf[2] > 200 {
 				label = 1
 			}
-			_ = out.Send([]byte{buf[0], buf[1], label})
+			_ = out.Send([]byte{buf[0], buf[1], label}) //sendcheck:ok
 			self.Progress()
 		},
 	}))

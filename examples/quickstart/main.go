@@ -89,7 +89,7 @@ func pingBody(self *core.Self) {
 	ch := self.MustChannel("pp")
 	if st.first {
 		st.first = false
-		_ = ch.Send([]byte("ping"))
+		_ = ch.Send([]byte("ping")) //sendcheck:ok
 		self.Progress()
 		return
 	}
@@ -102,7 +102,7 @@ func pingBody(self *core.Self) {
 		self.StopRuntime()
 		return
 	}
-	_ = ch.Send([]byte("ping"))
+	_ = ch.Send([]byte("ping")) //sendcheck:ok
 	self.Progress()
 }
 
@@ -113,6 +113,6 @@ func pongBody(self *core.Self) {
 	if err != nil || !ok || string(st.buf[:n]) != "ping" {
 		return
 	}
-	_ = ch.Send([]byte("pong"))
+	_ = ch.Send([]byte("pong")) //sendcheck:ok
 	self.Progress()
 }

@@ -177,7 +177,7 @@ func PingPongEA(pairs, size int, costs *sgx.CostModel, encrypted bool) (time.Dur
 					if err != nil || !ok {
 						return
 					}
-					_ = ch.Send(pongBuf[:n])
+					_ = ch.Send(pongBuf[:n]) //sendcheck:ok
 					self.Progress()
 				},
 			},
@@ -269,7 +269,7 @@ func PingPongEABatched(pairs, size, batch int, costs *sgx.CostModel, encrypted b
 						if rem := pairs - st.sent; rem < want {
 							want = rem
 						}
-						n, _ := ch.SendBatch(burst[:want])
+						n, _ := ch.SendBatch(burst[:want]) //sendcheck:ok
 						if n > 0 {
 							st.sent += n
 							st.inflight += n
@@ -296,7 +296,7 @@ func PingPongEABatched(pairs, size, batch int, costs *sgx.CostModel, encrypted b
 					ch := self.MustChannel("pp")
 					// Echo frames a previously full channel left behind.
 					if len(st.pending) > 0 {
-						n, _ := ch.SendBatch(st.pending)
+						n, _ := ch.SendBatch(st.pending) //sendcheck:ok
 						if n == 0 {
 							return
 						}
@@ -315,7 +315,7 @@ func PingPongEABatched(pairs, size, batch int, costs *sgx.CostModel, encrypted b
 					for i := 0; i < n; i++ {
 						st.echo = append(st.echo, st.bufs[i][:st.lens[i]])
 					}
-					sent, _ := ch.SendBatch(st.echo)
+					sent, _ := ch.SendBatch(st.echo) //sendcheck:ok
 					// st.bufs is reused next invocation; spilled echoes
 					// get copies (backpressure path only).
 					for _, f := range st.echo[sent:] {

@@ -140,7 +140,7 @@ func runO2OWorkload(addr string, clients int, warmup, measure time.Duration) (fl
 						continue
 					}
 				}
-				_ = c.SendMessage(msg.From, msg.Body)
+				_ = c.SendMessage(msg.From, msg.Body) //sendcheck:ok
 			}
 		}(receivers[i])
 	}

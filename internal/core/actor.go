@@ -52,6 +52,11 @@ type Spec struct {
 	// State is the eactor's initial private state, exposed as
 	// Self.State.
 	State any
+
+	// Restart is the supervision policy applied after a body panic. The
+	// zero value keeps the pre-supervision behaviour: the actor parks
+	// permanently (blast-radius containment, Section 2.3).
+	Restart RestartPolicy
 }
 
 // actorInstance binds a Spec to its resolved runtime resources.
@@ -65,10 +70,20 @@ type actorInstance struct {
 
 	// failed parks the actor after a body panic (blast-radius
 	// containment); failure records the panic value and dump captures
-	// the owning worker's flight recorder at the moment of the park.
+	// the owning worker's flight recorder at the moment of the park
+	// (an atomic pointer so post-mortems stay readable — race-free —
+	// after a supervised restart overwrites it on the next park).
 	failed  atomic.Bool
 	failure string
-	dump    []telemetry.Event
+	dump    atomic.Pointer[[]telemetry.Event]
+
+	// Supervision state. restarts counts completed restarts; restartAt
+	// is the UnixNano deadline of the pending restart (0 when none is
+	// scheduled); forceRestart is the SUPERVISOR's manual override,
+	// honoured by the owning worker regardless of policy and backoff.
+	restarts     atomic.Uint64
+	restartAt    atomic.Int64
+	forceRestart atomic.Bool
 }
 
 // Self is the handle passed to an eactor's Init and Body; it provides

@@ -205,8 +205,8 @@ func TestReplayAcrossBatchBoundary(t *testing.T) {
 func TestSendBatchPartialChannelFull(t *testing.T) {
 	a, _, _ := buildPair(t, false, 2, 16, 64)
 	sent, err := a.SendBatch(frames("1", "2", "3", "4"))
-	if sent != 2 || !errors.Is(err, ErrChannelFull) {
-		t.Fatalf("SendBatch = %d, %v; want 2, ErrChannelFull", sent, err)
+	if sent != 2 || !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("SendBatch = %d, %v; want 2, ErrMailboxFull", sent, err)
 	}
 	// Unsent nodes must be back in the pool.
 	if free := a.pool.Free(); free != 16-2 {
@@ -220,11 +220,11 @@ func TestSendBatchPartialChannelFull(t *testing.T) {
 func TestSendBatchPoolExhausted(t *testing.T) {
 	a, _, _ := buildPair(t, false, 8, 2, 64)
 	sent, err := a.SendBatch(frames("1", "2", "3", "4"))
-	if sent != 2 || !errors.Is(err, ErrPoolExhausted) {
-		t.Fatalf("SendBatch = %d, %v; want 2, ErrPoolExhausted", sent, err)
+	if sent != 2 || !errors.Is(err, ErrPoolEmpty) {
+		t.Fatalf("SendBatch = %d, %v; want 2, ErrPoolEmpty", sent, err)
 	}
 	sent, err = a.SendBatch(frames("5"))
-	if sent != 0 || !errors.Is(err, ErrPoolExhausted) {
+	if sent != 0 || !errors.Is(err, ErrPoolEmpty) {
 		t.Fatalf("SendBatch on empty pool = %d, %v", sent, err)
 	}
 }

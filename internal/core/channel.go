@@ -7,18 +7,27 @@ import (
 	"time"
 
 	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/mem"
 	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
-// Channel-layer errors.
+// Channel-layer errors. Every send failure path returns one of these
+// typed errors — callers branch with errors.Is, never on a bare bool,
+// so a dropped message is always a visible decision at the call site
+// (cmd/sendcheck enforces this in CI).
 var (
-	// ErrChannelFull reports a full mbox; the sender should retry on a
-	// later body invocation.
-	ErrChannelFull = errors.New("core: channel mbox full")
+	// ErrMailboxFull reports a full mbox; the sender should retry on a
+	// later body invocation (or bound a retry with SendRetry).
+	ErrMailboxFull = errors.New("core: channel mbox full")
 
-	// ErrPoolExhausted reports that no free node was available.
-	ErrPoolExhausted = errors.New("core: node pool exhausted")
+	// ErrPoolEmpty reports that no free node was available.
+	ErrPoolEmpty = errors.New("core: node pool exhausted")
+
+	// ErrChannelFull and ErrPoolExhausted are the former names, kept as
+	// aliases so errors.Is works across old and new call sites.
+	ErrChannelFull   = ErrMailboxFull
+	ErrPoolExhausted = ErrPoolEmpty
 
 	// ErrPayloadTooLarge reports a payload exceeding the node capacity
 	// (minus encryption overhead on encrypted channels).
@@ -102,6 +111,10 @@ type Endpoint struct {
 	batch       []*mem.Node // node staging for the batch fast path
 	scratchIdle int         // consecutive small scratch uses (see noteScratchUse)
 
+	// inj is the runtime's fault injector (Config.Faults); nil in
+	// production, one nil check on the hot paths.
+	inj *faults.Injector
+
 	// Telemetry (all nil/zero unless Config.Telemetry): m gates the
 	// instrumented paths, shard is the owning worker's counter shard,
 	// rec its flight recorder, sendNs the per-channel sampled latency
@@ -183,6 +196,64 @@ func (e *Endpoint) noteRecv(n int) {
 	}
 }
 
+// injectSend consults the fault injector at the send site: SendFail
+// rejects the send as an organic full-mailbox failure, Delay stalls it,
+// DoorbellDrop and SealCorrupt are returned for the caller's send path
+// to realise. The zero action means no fault (including when no
+// injector is armed).
+func (e *Endpoint) injectSend() faults.Action {
+	if e.inj == nil {
+		return faults.Action{}
+	}
+	act := e.inj.At(faults.SiteSend)
+	if act.Class == faults.Delay {
+		time.Sleep(act.Delay)
+	}
+	return act
+}
+
+// injectSealCorrupt reports whether the channel-seal schedule corrupts
+// this payload (encrypted channels only; shares SiteSeal with
+// sgx.Enclave.Seal so one schedule covers both seal layers).
+func (e *Endpoint) injectSealCorrupt() bool {
+	if e.inj == nil || e.cipher == nil {
+		return false
+	}
+	return e.inj.At(faults.SiteSeal).Class == faults.SealCorrupt
+}
+
+// injectRecv consults the fault injector after a successful dequeue
+// (polls on an empty mailbox do not consume schedule slots).
+func (e *Endpoint) injectRecv() {
+	if e.inj == nil {
+		return
+	}
+	if act := e.inj.At(faults.SiteRecv); act.Class == faults.Delay {
+		time.Sleep(act.Delay)
+	}
+}
+
+// corruptSealed flips one ciphertext bit so the peer's authenticated
+// open rejects the message — the injected stand-in for a tampering
+// untrusted runtime (the paper's adversary model, Section 2.3).
+func corruptSealed(blob []byte) {
+	if len(blob) > 0 {
+		blob[len(blob)/2] ^= 0x80
+	}
+}
+
+// wakePeer rings the consumer worker's doorbell unless the fault
+// schedule dropped it; a dropped doorbell is recovered by the worker's
+// idle-sleep poll, trading latency for liveness.
+func (e *Endpoint) wakePeer(act faults.Action) {
+	if act.Class == faults.DoorbellDrop {
+		return
+	}
+	if e.peerWake != nil {
+		e.peerWake()
+	}
+}
+
 // Send transmits a copy of payload to the peer eactor: it takes a node
 // from the pool, fills (and on encrypted channels seals) the payload,
 // and enqueues it — the paper's send path (Figure 3).
@@ -190,11 +261,16 @@ func (e *Endpoint) Send(payload []byte) error {
 	if len(payload) > e.MaxPayload() {
 		return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(payload), e.MaxPayload())
 	}
+	act := e.injectSend()
+	if act.Class == faults.SendFail {
+		e.sendFailures.Add(1)
+		return ErrMailboxFull
+	}
 	start := e.maybeSample()
 	node := e.pool.Get()
 	if node == nil {
 		e.sendFailures.Add(1)
-		return ErrPoolExhausted
+		return ErrPoolEmpty
 	}
 	if e.cipher != nil {
 		var sealStart time.Time
@@ -204,6 +280,9 @@ func (e *Endpoint) Send(payload []byte) error {
 		blob := e.cipher.Seal(node.Buf()[:0], payload, nil)
 		if !sealStart.IsZero() {
 			e.m.sealNs.ObserveSince(sealStart)
+		}
+		if e.injectSealCorrupt() {
+			corruptSealed(blob)
 		}
 		if err := node.SetLen(len(blob)); err != nil {
 			_ = e.pool.Put(node)
@@ -216,14 +295,67 @@ func (e *Endpoint) Send(payload []byte) error {
 	if !e.out.Enqueue(node) {
 		_ = e.pool.Put(node)
 		e.sendFailures.Add(1)
-		return ErrChannelFull
+		return ErrMailboxFull
 	}
 	e.sent.Add(1)
 	e.noteSent(1, start)
-	if e.peerWake != nil {
-		e.peerWake()
-	}
+	e.wakePeer(act)
 	return nil
+}
+
+// retryBackoff bounds in the SendRetry family: the wait starts at
+// retryBaseBackoff, doubles per attempt and is capped at
+// retryMaxBackoff, so a retrying sender neither spins on a full mbox
+// nor sleeps past a consumer that drained it.
+const (
+	retryBaseBackoff = 10 * time.Microsecond
+	retryMaxBackoff  = time.Millisecond
+)
+
+// SendRetry is Send with bounded persistence: transient failures
+// (ErrMailboxFull, ErrPoolEmpty) are retried with exponential backoff
+// until the deadline, at which point the last typed error is returned.
+// Non-transient errors return immediately. It is meant for control
+// messages whose loss would wedge a protocol (connection handoffs, SMC
+// rounds) — bulk data paths should stay on Send and shed load instead.
+//
+// SendRetry blocks the calling goroutine, so a non-blocking eactor body
+// should only use it with short deadlines.
+func (e *Endpoint) SendRetry(payload []byte, deadline time.Time) error {
+	backoff := retryBaseBackoff
+	for {
+		err := e.Send(payload)
+		if err == nil || (!errors.Is(err, ErrMailboxFull) && !errors.Is(err, ErrPoolEmpty)) {
+			return err
+		}
+		if !time.Now().Before(deadline) {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff < retryMaxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// SendNodeRetry is SendNode with the SendRetry persistence contract.
+// Node ownership transfers only on success; on error (including a
+// deadline expiry) the caller still owns the node.
+func (e *Endpoint) SendNodeRetry(node *mem.Node, deadline time.Time) error {
+	backoff := retryBaseBackoff
+	for {
+		err := e.SendNode(node)
+		if err == nil || (!errors.Is(err, ErrMailboxFull) && !errors.Is(err, ErrPoolEmpty)) {
+			return err
+		}
+		if !time.Now().Before(deadline) {
+			return err
+		}
+		time.Sleep(backoff)
+		if backoff < retryMaxBackoff {
+			backoff *= 2
+		}
+	}
 }
 
 // SendNode transmits a node previously obtained from the pool without
@@ -233,6 +365,11 @@ func (e *Endpoint) Send(payload []byte) error {
 func (e *Endpoint) SendNode(node *mem.Node) error {
 	if node == nil {
 		return errors.New("core: SendNode(nil)")
+	}
+	act := e.injectSend()
+	if act.Class == faults.SendFail {
+		e.sendFailures.Add(1)
+		return ErrMailboxFull
 	}
 	start := e.maybeSample()
 	if e.cipher != nil {
@@ -248,6 +385,9 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 		if !sealStart.IsZero() {
 			e.m.sealNs.ObserveSince(sealStart)
 		}
+		if e.injectSealCorrupt() {
+			corruptSealed(blob)
+		}
 		e.noteScratchUse(len(e.scratch))
 		if err := node.SetLen(len(blob)); err != nil {
 			return err
@@ -255,13 +395,11 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 	}
 	if !e.out.Enqueue(node) {
 		e.sendFailures.Add(1)
-		return ErrChannelFull
+		return ErrMailboxFull
 	}
 	e.sent.Add(1)
 	e.noteSent(1, start)
-	if e.peerWake != nil {
-		e.peerWake()
-	}
+	e.wakePeer(act)
 	return nil
 }
 
@@ -294,7 +432,7 @@ func (e *Endpoint) noteScratchUse(n int) {
 // Sends. FIFO order follows slice order.
 //
 // It returns how many payloads were sent. A short count comes with
-// ErrPoolExhausted or ErrChannelFull; the caller retries payloads[n:]
+// ErrPoolEmpty or ErrMailboxFull; the caller retries payloads[n:]
 // on a later invocation. On encrypted channels a message sealed but
 // then rejected by a full mbox burns a nonce counter; the replay check
 // only requires monotonic counters, so gaps are harmless.
@@ -308,12 +446,17 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 			return 0, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, len(p), maxPayload)
 		}
 	}
+	act := e.injectSend() // one schedule slot per batch operation
+	if act.Class == faults.SendFail {
+		e.sendFailures.Add(1)
+		return 0, ErrMailboxFull
+	}
 	start := e.maybeSample()
 	nodes := e.nodeSlots(len(payloads))
 	got := e.pool.GetBatch(nodes)
 	if got == 0 {
 		e.sendFailures.Add(1)
-		return 0, ErrPoolExhausted
+		return 0, ErrPoolEmpty
 	}
 	var sealStart time.Time
 	if !start.IsZero() && e.cipher != nil {
@@ -323,6 +466,9 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		node := nodes[i]
 		if e.cipher != nil {
 			blob := e.cipher.Seal(node.Buf()[:0], payloads[i], nil)
+			if e.injectSealCorrupt() {
+				corruptSealed(blob)
+			}
 			_ = node.SetLen(len(blob)) // bounded by the MaxPayload check
 		} else {
 			_ = node.SetPayload(payloads[i])
@@ -342,16 +488,14 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		if e.m != nil {
 			e.m.sendBatch.Observe(uint64(sent))
 		}
-		if e.peerWake != nil {
-			e.peerWake()
-		}
+		e.wakePeer(act)
 	}
 	if sent < len(payloads) {
 		e.sendFailures.Add(1)
 		if sent == got && got < len(payloads) {
-			return sent, ErrPoolExhausted
+			return sent, ErrPoolEmpty
 		}
-		return sent, ErrChannelFull
+		return sent, ErrMailboxFull
 	}
 	return sent, nil
 }
@@ -381,6 +525,7 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 	if got == 0 {
 		return 0, nil
 	}
+	e.injectRecv()
 	e.received.Add(uint64(got))
 	e.noteRecv(got)
 	if e.m != nil {
@@ -443,6 +588,7 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 	if !ok {
 		return 0, false, nil
 	}
+	e.injectRecv()
 	e.received.Add(1)
 	e.noteRecv(1)
 	defer func() {
@@ -481,6 +627,7 @@ func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	e.injectRecv()
 	e.received.Add(1)
 	e.noteRecv(1)
 	if e.cipher != nil {

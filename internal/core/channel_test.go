@@ -119,8 +119,8 @@ func TestEndpointChannelFull(t *testing.T) {
 	if err := a.Send([]byte("2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send([]byte("3")); !errors.Is(err, ErrChannelFull) {
-		t.Fatalf("third Send err = %v, want ErrChannelFull", err)
+	if err := a.Send([]byte("3")); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("third Send err = %v, want ErrMailboxFull", err)
 	}
 	// The failed send must have returned its node to the pool.
 	if free := a.pool.Free(); free != 16-2 {
@@ -136,8 +136,8 @@ func TestEndpointPoolExhausted(t *testing.T) {
 	if err := a.Send([]byte("2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send([]byte("3")); !errors.Is(err, ErrPoolExhausted) {
-		t.Fatalf("Send err = %v, want ErrPoolExhausted", err)
+	if err := a.Send([]byte("3")); !errors.Is(err, ErrPoolEmpty) {
+		t.Fatalf("Send err = %v, want ErrPoolEmpty", err)
 	}
 }
 

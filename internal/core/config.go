@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"github.com/eactors/eactors-go/internal/faults"
 )
 
 // Defaults for Config fields left zero.
@@ -105,6 +107,14 @@ type Config struct {
 	// TelemetryRecorderSize is the per-worker flight-recorder ring size
 	// in events (power of two, telemetry.DefaultRecorderSize when zero).
 	TelemetryRecorderSize int
+
+	// Faults arms the deterministic fault injector on every hook site of
+	// this deployment: channel sends/receives, enclave crossings, sealing,
+	// body invocations (and, via sgx.Platform.AttachFaults, the platform
+	// the runtime executes on). nil — the production case — reduces every
+	// hook to a single pointer load. The same seed replays the same fault
+	// schedule; see internal/faults.
+	Faults *faults.Injector
 }
 
 // MemoryFootprint estimates the bytes the deployment preallocates:

@@ -37,7 +37,7 @@ func testRegistry(rounds *atomic.Int64, target int64) Registry {
 			buf := make([]byte, 8)
 			if st.first {
 				st.first = false
-				_ = ch.Send([]byte("ping"))
+				_ = ch.Send([]byte("ping")) //sendcheck:ok
 				self.Progress()
 				return
 			}
@@ -46,7 +46,7 @@ func testRegistry(rounds *atomic.Int64, target int64) Registry {
 					self.StopRuntime()
 					return
 				}
-				_ = ch.Send([]byte("ping"))
+				_ = ch.Send([]byte("ping")) //sendcheck:ok
 				self.Progress()
 			}
 		},
@@ -56,7 +56,7 @@ func testRegistry(rounds *atomic.Int64, target int64) Registry {
 			ch := self.MustChannel("pp")
 			buf := make([]byte, 8)
 			if _, ok, _ := ch.Recv(buf); ok {
-				_ = ch.Send([]byte("pong"))
+				_ = ch.Send([]byte("pong")) //sendcheck:ok
 				self.Progress()
 			}
 		},

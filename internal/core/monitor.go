@@ -26,7 +26,8 @@ import (
 //	               failed actors
 //	dump           the system flight recorder (evictions, background events)
 //	dump <worker>  worker <worker>'s flight recorder, oldest first
-//	dump <actor>   the dump captured when <actor>'s body panicked
+//	dump <actor>   the dump captured when <actor>'s body last panicked
+//	               (kept after a supervised restart)
 //
 // The monitor is an ordinary eactor: place it on a lightly loaded worker
 // and, if its answers must be confidential, inside an enclave (set
@@ -75,7 +76,7 @@ func monitorBody(self *Self) {
 			}
 			// A full reply direction drops the answer; the client's next
 			// query gets a fresh one. Monitoring must never block.
-			_ = ep.Send(reply)
+			_ = ep.Send(reply) //sendcheck:ok
 		}
 	}
 }
@@ -129,7 +130,7 @@ func (st *monitorState) writeDump(buf *bytes.Buffer, self *Self, arg string) {
 			buf.WriteString(telemetry.FormatDump(dump))
 			return
 		}
-		fmt.Fprintf(buf, "error: %q is neither a worker index nor a failed actor", arg)
+		fmt.Fprintf(buf, "error: %q is neither a worker index nor an actor that failed", arg)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/mem"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
@@ -37,6 +38,9 @@ type Runtime struct {
 	tel *telemetry.Registry
 	m   *metrics
 
+	// flt is the fault injector (Config.Faults); nil in production.
+	flt *faults.Injector
+
 	mu      sync.Mutex
 	started bool
 	stopped bool
@@ -55,8 +59,23 @@ func (rt *Runtime) actorFailed(name string) {
 	rt.failedMu.Unlock()
 }
 
-// FailedActors lists eactors parked after a body panic, with their
-// panic values available via ActorFailure.
+// actorRestarted removes a revived actor from the failed list (called
+// by workers after a supervised restart).
+func (rt *Runtime) actorRestarted(name string) {
+	rt.failedMu.Lock()
+	for i, n := range rt.failed {
+		if n == name {
+			rt.failed = append(rt.failed[:i], rt.failed[i+1:]...)
+			break
+		}
+	}
+	rt.failedMu.Unlock()
+}
+
+// FailedActors lists eactors currently parked after a body panic, with
+// their panic values available via ActorFailure. A supervised restart
+// removes the actor from the list; use ActorRestarts/Supervision for
+// the history.
 func (rt *Runtime) FailedActors() []string {
 	rt.failedMu.Lock()
 	defer rt.failedMu.Unlock()
@@ -109,6 +128,19 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		rt.tel = telemetry.New(len(cfg.Workers), cfg.TelemetryRecorderSize)
 		rt.m = newMetrics(rt.tel, len(cfg.Workers))
 		platform.AttachTelemetry(rt.tel)
+	}
+	if cfg.Faults != nil {
+		rt.flt = cfg.Faults
+		platform.AttachFaults(cfg.Faults)
+		if rt.tel != nil {
+			// Every injected fault leaves an EvFault event on the system
+			// flight recorder (Record is race-clean from any goroutine),
+			// so a chaos run's post-mortem shows what was injected where.
+			rec := rt.tel.SystemRecorder()
+			cfg.Faults.SetObserver(func(site faults.Site, class faults.Class) {
+				rec.Record(telemetry.EvFault, uint32(site), uint64(class))
+			})
+		}
 	}
 
 	// Enclaves (plus their private pools, whose memory is charged to the
@@ -181,6 +213,7 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 			rt.workers[i].rec = rt.tel.Recorder(i)
 			rt.workers[i].ctx.AttachTelemetry(i, rt.workers[i].rec)
 		}
+		rt.workers[i].inj = rt.flt
 	}
 	for _, spec := range cfg.Actors {
 		w := rt.workers[spec.Worker]
@@ -234,8 +267,8 @@ func (rt *Runtime) buildChannel(cs ChannelSpec) error {
 		}
 	}
 	ch := &Channel{name: cs.Name, a: cs.A, b: cs.B, encrypted: encrypted, ab: ab, ba: ba, tag: uint32(len(rt.channels))}
-	epA := &Endpoint{ch: ch, out: ab, in: ba, pool: pool, peerWake: instB.worker.Wake}
-	epB := &Endpoint{ch: ch, out: ba, in: ab, pool: pool, peerWake: instA.worker.Wake}
+	epA := &Endpoint{ch: ch, out: ab, in: ba, pool: pool, peerWake: instB.worker.Wake, inj: rt.flt}
+	epB := &Endpoint{ch: ch, out: ba, in: ab, pool: pool, peerWake: instA.worker.Wake, inj: rt.flt}
 	if rt.m != nil {
 		// Endpoints are single-owner (their actor's worker), so each
 		// carries its owner's shard index and flight recorder; the

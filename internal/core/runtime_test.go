@@ -38,7 +38,7 @@ func pingPongConfig(rounds *atomic.Int64, target int64, pingEnclave, pongEnclave
 					ch := self.MustChannel("pp")
 					if st.first {
 						st.first = false
-						_ = ch.Send([]byte("ping"))
+						_ = ch.Send([]byte("ping")) //sendcheck:ok
 						self.Progress()
 						return
 					}
@@ -54,7 +54,7 @@ func pingPongConfig(rounds *atomic.Int64, target int64, pingEnclave, pongEnclave
 						self.StopRuntime()
 						return
 					}
-					_ = ch.Send([]byte("ping"))
+					_ = ch.Send([]byte("ping")) //sendcheck:ok
 					self.Progress()
 				},
 			},
@@ -70,7 +70,7 @@ func pingPongConfig(rounds *atomic.Int64, target int64, pingEnclave, pongEnclave
 					if string(buf[:n]) != "ping" {
 						panic("pong received " + string(buf[:n]))
 					}
-					_ = ch.Send([]byte("pong"))
+					_ = ch.Send([]byte("pong")) //sendcheck:ok
 					self.Progress()
 				},
 			},

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Restart backoff defaults for RestartPolicy fields left zero.
+const (
+	DefaultRestartBackoff    = time.Millisecond
+	DefaultRestartMaxBackoff = 500 * time.Millisecond
+)
+
+// RestartPolicy decides what happens to an eactor after its body
+// panics. The paper's runtime parks a faulty eactor forever (Section
+// 2.3's blast-radius containment); a policy with OnPanic set trades a
+// little of that isolation for availability: the owning worker restarts
+// the actor after a capped exponential backoff, on the same worker and
+// in the same enclave, with its private state (Spec.State) as the body
+// left it.
+//
+// Restarts are performed by the worker that owns the actor — the only
+// thread allowed to touch its endpoints — so no cross-thread handshake
+// is needed; the SUPERVISOR system eactor (SupervisorSpec) is the
+// observation and manual-override plane on top.
+type RestartPolicy struct {
+	// OnPanic enables supervised restarts. False (the zero value) keeps
+	// the permanent park.
+	OnPanic bool
+
+	// MaxRestarts caps the number of restarts; once exceeded the actor
+	// parks permanently. 0 means unlimited.
+	MaxRestarts int
+
+	// Backoff is the delay before the first restart; each subsequent
+	// restart doubles it up to MaxBackoff. Zero values use
+	// DefaultRestartBackoff / DefaultRestartMaxBackoff.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+
+	// FlushMailbox drops the actor's pending inbound messages at
+	// restart (nodes return to their pool). Default keeps the backlog:
+	// the restarted body resumes consuming where the panicked one
+	// stopped.
+	FlushMailbox bool
+
+	// Reinit re-runs Spec.Init at restart (inside the actor's enclave).
+	// An Init error counts as another failure and re-parks the actor
+	// with the next backoff step.
+	Reinit bool
+}
+
+// backoff returns the delay before restart number restarts+1.
+func (p RestartPolicy) backoff(restarts uint64) time.Duration {
+	base, cap := p.Backoff, p.MaxBackoff
+	if base <= 0 {
+		base = DefaultRestartBackoff
+	}
+	if cap <= 0 {
+		cap = DefaultRestartMaxBackoff
+	}
+	d := base
+	for i := uint64(0); i < restarts && d < cap; i++ {
+		d <<= 1
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// exhausted reports whether the policy allows no further restart after
+// `restarts` completed ones.
+func (p RestartPolicy) exhausted(restarts uint64) bool {
+	if !p.OnPanic {
+		return true
+	}
+	return p.MaxRestarts > 0 && restarts >= uint64(p.MaxRestarts)
+}
+
+// ActorSupervision is one actor's supervision snapshot.
+type ActorSupervision struct {
+	Name     string
+	Parked   bool
+	Failure  string // last panic value ("" if never failed)
+	Restarts uint64
+	// NextRestart is the time until the pending restart fires
+	// (negative-clamped to 0); false when none is scheduled.
+	NextRestart time.Duration
+	RestartDue  bool
+	Policy      RestartPolicy
+}
+
+// Supervision returns the supervision state of every actor, sorted by
+// name. Parked actors with OnPanic policies also report their pending
+// restart deadline.
+func (rt *Runtime) Supervision() []ActorSupervision {
+	out := make([]ActorSupervision, 0, len(rt.actors))
+	for name, inst := range rt.actors {
+		s := ActorSupervision{
+			Name:     name,
+			Parked:   inst.failed.Load(),
+			Restarts: inst.restarts.Load(),
+			Policy:   inst.spec.Restart,
+		}
+		if s.Parked {
+			s.Failure = inst.failure
+			if due := inst.restartAt.Load(); due != 0 {
+				s.RestartDue = true
+				if d := time.Until(time.Unix(0, due)); d > 0 {
+					s.NextRestart = d
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ActorRestarts returns how many times the named actor was restarted.
+func (rt *Runtime) ActorRestarts(name string) uint64 {
+	inst, ok := rt.actors[name]
+	if !ok {
+		return 0
+	}
+	return inst.restarts.Load()
+}
+
+// RestartActor forces an immediate restart of a parked actor,
+// bypassing its policy's backoff (and even a zero policy — the manual
+// override exists precisely for actors configured to park forever).
+// The restart itself is still performed by the owning worker on its
+// next scheduling round.
+func (rt *Runtime) RestartActor(name string) error {
+	inst, ok := rt.actors[name]
+	if !ok {
+		return fmt.Errorf("core: unknown actor %q", name)
+	}
+	if !inst.failed.Load() {
+		return fmt.Errorf("core: actor %q is not parked", name)
+	}
+	inst.forceRestart.Store(true)
+	inst.worker.Wake()
+	return nil
+}
+
+// SupervisorSpec returns the SUPERVISOR system eactor: the observation
+// and control plane of the supervision layer, served over ordinary
+// channels like the MONITOR (the paper's system-eactor pattern,
+// Section 4). Restart enforcement itself is worker-driven — a
+// deployment without a SUPERVISOR still restarts actors per their
+// RestartPolicy; the SUPERVISOR adds inspection and manual overrides.
+//
+// Wire a channel from any eactor to the supervisor and send it one of
+// the plain-text commands; the answer returns on the same channel:
+//
+//	status           one line per actor: parked/healthy, restart count,
+//	                 last failure, time until the pending restart
+//	failed           only the currently parked actors
+//	restart <actor>  force-restart a parked actor now (bypasses backoff
+//	                 and policy)
+//
+// Unlike the MONITOR it does not require Config.Telemetry: it reads
+// the runtime's supervision state directly.
+func SupervisorSpec(name string, worker int) Spec {
+	return Spec{
+		Name:   name,
+		Worker: worker,
+		State:  &supervisorState{},
+		Body:   supervisorBody,
+	}
+}
+
+type supervisorState struct {
+	req []byte
+}
+
+func supervisorBody(self *Self) {
+	st := self.State.(*supervisorState)
+	for _, ep := range self.Endpoints() {
+		if cap(st.req) < ep.MaxPayload() {
+			st.req = make([]byte, ep.MaxPayload())
+		}
+		for {
+			n, ok, err := ep.Recv(st.req[:ep.MaxPayload()])
+			if !ok {
+				break
+			}
+			self.Progress()
+			if err != nil {
+				continue
+			}
+			reply := supervisorAnswer(self, strings.TrimSpace(string(st.req[:n])))
+			if len(reply) > ep.MaxPayload() {
+				reply = reply[:ep.MaxPayload()]
+			}
+			// Supervision must never block; a full reply direction drops
+			// the answer and the client's next command gets a fresh one.
+			_ = ep.Send(reply) //sendcheck:ok
+		}
+	}
+}
+
+func supervisorAnswer(self *Self, query string) []byte {
+	rt := self.Runtime()
+	var buf bytes.Buffer
+	cmd, arg, _ := strings.Cut(query, " ")
+	switch cmd {
+	case "status", "failed":
+		parked := 0
+		for _, s := range rt.Supervision() {
+			if s.Parked {
+				parked++
+			} else if cmd == "failed" {
+				continue
+			}
+			writeSupervision(&buf, s)
+		}
+		if cmd == "failed" && parked == 0 {
+			buf.WriteString("ok: no parked actors\n")
+		}
+	case "restart":
+		actor := strings.TrimSpace(arg)
+		if err := rt.RestartActor(actor); err != nil {
+			fmt.Fprintf(&buf, "error: %v\n", err)
+		} else {
+			fmt.Fprintf(&buf, "restart requested: %s\n", actor)
+		}
+	default:
+		fmt.Fprintf(&buf, "error: unknown command %q (status|failed|restart <actor>)", query)
+	}
+	return buf.Bytes()
+}
+
+func writeSupervision(buf *bytes.Buffer, s ActorSupervision) {
+	state := "healthy"
+	if s.Parked {
+		state = "parked"
+	}
+	fmt.Fprintf(buf, "%s %s restarts=%d", s.Name, state, s.Restarts)
+	if s.Parked {
+		fmt.Fprintf(buf, " failure=%q", s.Failure)
+		switch {
+		case s.RestartDue:
+			fmt.Fprintf(buf, " next_restart=%s", s.NextRestart.Round(time.Microsecond))
+		case s.Policy.OnPanic:
+			buf.WriteString(" next_restart=exhausted")
+		default:
+			buf.WriteString(" next_restart=never")
+		}
+	}
+	buf.WriteByte('\n')
+}

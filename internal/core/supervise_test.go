@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRestartOnPanic is the headline supervision property: an actor
+// whose body panics once, under an OnPanic policy, resumes within the
+// backoff bound with its private state intact, and both the restart
+// counter and the eactors_restarts metric reflect it.
+func TestRestartOnPanic(t *testing.T) {
+	var runs atomic.Int64
+	const backoff = 2 * time.Millisecond
+	cfg := Config{
+		Telemetry: true,
+		Workers:   []WorkerSpec{{}},
+		Actors: []Spec{
+			{
+				Name: "flappy", Worker: 0,
+				Restart: RestartPolicy{OnPanic: true, Backoff: backoff, MaxBackoff: backoff},
+				Body: func(self *Self) {
+					if runs.Add(1) == 1 {
+						panic("transient bug")
+					}
+				},
+			},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// Generous against scheduler noise, but the restart itself must be
+	// ordered after the backoff elapsed.
+	deadline := time.Now().Add(5 * time.Second)
+	for runs.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("actor never resumed: runs=%d, supervision=%+v", runs.Load(), rt.Supervision())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if elapsed := time.Since(start); elapsed < backoff {
+		t.Fatalf("actor resumed after %v, before the %v backoff", elapsed, backoff)
+	}
+	if got := rt.ActorRestarts("flappy"); got != 1 {
+		t.Fatalf("ActorRestarts = %d, want 1", got)
+	}
+	if failed := rt.FailedActors(); len(failed) != 0 {
+		t.Fatalf("FailedActors = %v after restart, want none", failed)
+	}
+	if _, ok := rt.ActorFailure("flappy"); ok {
+		t.Fatal("restarted actor still reports as failed")
+	}
+	if v, ok := rt.Telemetry().CounterValue("eactors_restarts"); !ok || v != 1 {
+		t.Fatalf("eactors_restarts = %d, %v, want 1", v, ok)
+	}
+}
+
+// TestRestartBackoffDoublesAndExhausts: a persistently-crashing actor
+// is restarted MaxRestarts times with doubling delays, then parks
+// permanently.
+func TestRestartBackoffDoublesAndExhausts(t *testing.T) {
+	var runs atomic.Int64
+	policy := RestartPolicy{
+		OnPanic:     true,
+		MaxRestarts: 3,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	}
+	cfg := Config{
+		Workers: []WorkerSpec{{}},
+		Actors: []Spec{
+			{
+				Name: "doomed", Worker: 0, Restart: policy,
+				Body: func(self *Self) {
+					runs.Add(1)
+					panic("permanent bug")
+				},
+			},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// 1 initial run + 3 restarts, then the policy is exhausted.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.ActorRestarts("doomed") < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarts = %d, want 3", rt.ActorRestarts("doomed"))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Let any further (buggy) restart fire before checking the park.
+	time.Sleep(20 * time.Millisecond)
+	if got := runs.Load(); got != 4 {
+		t.Fatalf("body ran %d times, want exactly 4 (1 + MaxRestarts)", got)
+	}
+	sup := rt.Supervision()
+	if len(sup) != 1 || !sup[0].Parked || sup[0].RestartDue {
+		t.Fatalf("exhausted actor not permanently parked: %+v", sup)
+	}
+	if sup[0].Restarts != 3 || sup[0].Failure != "permanent bug" {
+		t.Fatalf("supervision snapshot = %+v", sup[0])
+	}
+
+	// The doubling schedule (1ms, 2ms, 4ms) is covered by the policy
+	// helper directly — wall-clock assertions on sub-ms sleeps flake.
+	for i, want := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond} {
+		if got := policy.backoff(uint64(i)); got != want {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// restartMailboxDeployment runs a consumer that panics on its first
+// invocation (before draining anything) and then counts every message
+// it receives, with `flush` selecting the policy's mailbox fate. The
+// producer endpoint is driven from the test goroutine.
+func restartMailboxDeployment(t *testing.T, flush bool) (received *atomic.Int64, rt *Runtime) {
+	t.Helper()
+	received = new(atomic.Int64)
+	var first atomic.Bool
+	first.Store(true)
+	buf := make([]byte, 64)
+	cfg := Config{
+		Workers:   []WorkerSpec{{}, {}},
+		PoolNodes: 16,
+		Channels:  []ChannelSpec{{Name: "work", A: "producer", B: "consumer", Capacity: 8}},
+		Actors: []Spec{
+			{Name: "producer", Worker: 0, Body: func(*Self) {}},
+			{
+				Name: "consumer", Worker: 1,
+				Restart: RestartPolicy{OnPanic: true, Backoff: time.Millisecond, FlushMailbox: flush},
+				Body: func(self *Self) {
+					if first.CompareAndSwap(true, false) {
+						panic("crash before consuming")
+					}
+					ep := self.MustChannel("work")
+					for {
+						_, ok, err := ep.Recv(buf)
+						if !ok || err != nil {
+							return
+						}
+						received.Add(1)
+						self.Progress()
+					}
+				},
+			},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	return received, rt
+}
+
+// fillParkedMailbox waits for the consumer to park, then enqueues n
+// messages into its mailbox.
+func fillParkedMailbox(t *testing.T, rt *Runtime, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.FailedActors()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	ep := rt.actors["producer"].endpoints["work"]
+	for i := 0; i < n; i++ {
+		if err := ep.Send([]byte("backlog")); err != nil {
+			t.Fatalf("send %d to parked consumer: %v", i, err)
+		}
+	}
+}
+
+// TestRestartMailboxPreserved: the default policy keeps the backlog —
+// messages sent while the actor was parked are consumed by the
+// restarted body.
+func TestRestartMailboxPreserved(t *testing.T) {
+	received, rt := restartMailboxDeployment(t, false)
+	fillParkedMailbox(t, rt, 5)
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted consumer drained %d/5 backlog messages", received.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestRestartMailboxFlushed: FlushMailbox drops the backlog at restart
+// (nodes back to the pool) and the revived actor starts clean.
+func TestRestartMailboxFlushed(t *testing.T) {
+	received, rt := restartMailboxDeployment(t, true)
+	fillParkedMailbox(t, rt, 5)
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.ActorRestarts("consumer") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never restarted")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// A fresh message must still flow (the flush returned the backlog's
+	// nodes to the pool; a leak would starve this send).
+	ep := rt.actors["producer"].endpoints["work"]
+	for received.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted consumer never received a fresh message")
+		}
+		if err := ep.Send([]byte("fresh")); err != nil && !errors.Is(err, ErrMailboxFull) {
+			t.Fatalf("send after flush: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := received.Load(); got >= 5 {
+		t.Fatalf("flushed consumer received %d messages; the 5-message backlog leaked through", got)
+	}
+}
+
+// supervisorDeployment wires a client endpoint (driven by the test) to
+// a SUPERVISOR, alongside a crashing actor parked under a deliberately
+// long backoff so the test can observe the parked state.
+func supervisorDeployment(t *testing.T) (*Endpoint, *Runtime, *atomic.Int64) {
+	t.Helper()
+	runs := new(atomic.Int64)
+	cfg := Config{
+		Workers:     []WorkerSpec{{}, {}},
+		PoolNodes:   16,
+		NodePayload: 4096,
+		Channels:    []ChannelSpec{{Name: "sup", A: "client", B: "supervisor", Capacity: 8}},
+		Actors: []Spec{
+			{Name: "client", Worker: 0, Body: func(*Self) {}},
+			{
+				Name: "crashy", Worker: 0,
+				// Parks long enough for status to see it; the test frees
+				// it early via the supervisor's manual restart.
+				Restart: RestartPolicy{OnPanic: true, Backoff: 30 * time.Second},
+				Body: func(self *Self) {
+					if runs.Add(1) == 1 {
+						panic("observed bug")
+					}
+				},
+			},
+			SupervisorSpec("supervisor", 1),
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	return rt.actors["client"].endpoints["sup"], rt, runs
+}
+
+// TestSupervisorEactor drives the SUPERVISOR's command surface end to
+// end: status shows the parked actor with its pending restart, a
+// manual restart bypasses the 30s backoff, and the follow-up status
+// reflects the recovery.
+func TestSupervisorEactor(t *testing.T) {
+	ep, rt, runs := supervisorDeployment(t)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.FailedActors()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("crashy never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status := monitorQuery(t, ep, "status")
+	if !strings.Contains(status, "crashy parked restarts=0") ||
+		!strings.Contains(status, `failure="observed bug"`) ||
+		!strings.Contains(status, "next_restart=") {
+		t.Fatalf("status missing parked actor:\n%s", status)
+	}
+	if !strings.Contains(status, "client healthy") {
+		t.Fatalf("status missing healthy actor:\n%s", status)
+	}
+
+	failedReply := monitorQuery(t, ep, "failed")
+	if !strings.Contains(failedReply, "crashy") || strings.Contains(failedReply, "client") {
+		t.Fatalf("failed reply = %q", failedReply)
+	}
+
+	if reply := monitorQuery(t, ep, "restart nobody"); !strings.Contains(reply, "error") {
+		t.Fatalf("restart of unknown actor not rejected: %q", reply)
+	}
+	if reply := monitorQuery(t, ep, "restart client"); !strings.Contains(reply, "error") {
+		t.Fatalf("restart of healthy actor not rejected: %q", reply)
+	}
+	if reply := monitorQuery(t, ep, "bogus"); !strings.Contains(reply, "error: unknown command") {
+		t.Fatalf("unknown command not rejected: %q", reply)
+	}
+
+	if reply := monitorQuery(t, ep, "restart crashy"); !strings.Contains(reply, "restart requested") {
+		t.Fatalf("restart crashy = %q", reply)
+	}
+	for runs.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("manual restart never revived crashy (30s backoff should be bypassed)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := rt.ActorRestarts("crashy"); got != 1 {
+		t.Fatalf("ActorRestarts = %d, want 1", got)
+	}
+	status = monitorQuery(t, ep, "status")
+	if !strings.Contains(status, "crashy healthy restarts=1") {
+		t.Fatalf("post-restart status:\n%s", status)
+	}
+	if reply := monitorQuery(t, ep, "failed"); !strings.Contains(reply, "ok: no parked actors") {
+		t.Fatalf("failed after recovery = %q", reply)
+	}
+}
+
+// TestMonitorDumpOfRestartedActor: the flight dump captured at the
+// panic stays queryable through the MONITOR after the supervised
+// restart revived the actor.
+func TestMonitorDumpOfRestartedActor(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{
+		Telemetry:   true,
+		Workers:     []WorkerSpec{{}, {}},
+		PoolNodes:   16,
+		NodePayload: 8192,
+		Channels:    []ChannelSpec{{Name: "mon", A: "client", B: "monitor", Capacity: 8}},
+		Actors: []Spec{
+			{Name: "client", Worker: 0, Body: func(*Self) {}},
+			{
+				Name: "flappy", Worker: 0,
+				Restart: RestartPolicy{OnPanic: true, Backoff: time.Millisecond},
+				Body: func(self *Self) {
+					if runs.Add(1) == 1 {
+						panic("dump me")
+					}
+				},
+			},
+			MonitorSpec("monitor", 1),
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runs.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("flappy never restarted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ep := rt.actors["client"].endpoints["mon"]
+	dump := monitorQuery(t, ep, "dump flappy")
+	if strings.Contains(dump, "error") || !strings.Contains(dump, "invoke") {
+		t.Fatalf("dump of restarted actor:\n%s", dump)
+	}
+}
+
+// TestPanicParkUnderConcurrentTraffic: an actor crashing while two
+// producers on other workers hammer its mailbox parks exactly once;
+// the producers degrade to ErrMailboxFull (typed, not a wedge or a
+// node leak) and the rest of the deployment keeps running.
+func TestPanicParkUnderConcurrentTraffic(t *testing.T) {
+	var crashes, bystanderRuns atomic.Int64
+	cfg := Config{
+		Workers:   []WorkerSpec{{}, {}, {}},
+		PoolNodes: 32,
+		Channels: []ChannelSpec{
+			{Name: "t1", A: "prod-1", B: "victim", Capacity: 4},
+			{Name: "t2", A: "prod-2", B: "victim", Capacity: 4},
+		},
+		Actors: []Spec{
+			{Name: "prod-1", Worker: 1, Body: func(*Self) {}},
+			{Name: "prod-2", Worker: 2, Body: func(*Self) {}},
+			{
+				Name: "victim", Worker: 0,
+				Body: func(self *Self) {
+					crashes.Add(1)
+					panic("died mid-traffic")
+				},
+			},
+			{Name: "bystander", Worker: 0, Body: func(self *Self) {
+				bystanderRuns.Add(1)
+				self.Progress()
+			}},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// Two goroutines drive the producers' endpoints concurrently with
+	// the crash, as cross-worker traffic would.
+	stop := make(chan struct{})
+	fullCh := make(chan int, 2)
+	for i, name := range []string{"prod-1", "prod-2"} {
+		ep := rt.actors[name].endpoints[[]string{"t1", "t2"}[i]]
+		go func(ep *Endpoint) {
+			full := 0
+			for {
+				select {
+				case <-stop:
+					fullCh <- full
+					return
+				default:
+				}
+				if err := ep.Send([]byte("spam")); err != nil {
+					if !errors.Is(err, ErrMailboxFull) && !errors.Is(err, ErrPoolEmpty) {
+						t.Errorf("unexpected send error: %v", err)
+						fullCh <- full
+						return
+					}
+					full++
+				}
+			}
+		}(ep)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(rt.FailedActors()) == 0 || bystanderRuns.Load() < 1000 {
+		if time.Now().After(deadline) {
+			t.Fatalf("park or bystander progress missing: failed=%v bystander=%d",
+				rt.FailedActors(), bystanderRuns.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	full := <-fullCh
+	full += <-fullCh
+
+	if got := crashes.Load(); got != 1 {
+		t.Fatalf("victim ran %d times, want exactly 1", got)
+	}
+	if full == 0 {
+		t.Fatal("producers never saw ErrMailboxFull against a parked 4-slot mailbox")
+	}
+}

@@ -21,6 +21,7 @@ type metrics struct {
 	idles        *telemetry.Counter     // worker transitions into the idle wait
 	wakes        *telemetry.Counter     // doorbell wakeups out of the idle wait
 	parks        *telemetry.Counter     // actors parked after a body panic
+	restarts     *telemetry.Counter     // supervised restarts of parked actors
 
 	// Channel-side. Traffic totals (msgs sent/recv, send failures) are
 	// NOT duplicated here: the endpoint atomics remain the single source
@@ -48,6 +49,7 @@ func newMetrics(reg *telemetry.Registry, workers int) *metrics {
 		idles:        reg.Counter("eactors_worker_idle", "worker transitions into the doorbell idle wait"),
 		wakes:        reg.Counter("eactors_worker_wakes", "doorbell wakeups out of the idle wait"),
 		parks:        reg.Counter("eactors_actor_parks", "eactors parked after a body panic"),
+		restarts:     reg.Counter("eactors_restarts", "supervised restarts of parked eactors"),
 		sendBatch:    reg.Histogram("eactors_channel_send_batch_size", "SendBatch burst sizes", "msgs"),
 		recvBatch:    reg.Histogram("eactors_channel_recv_batch_size", "RecvBatch burst sizes", "msgs"),
 		sealNs:       reg.Histogram("eactors_channel_seal_ns", "per-payload channel seal time, sampled 1/16", "ns"),
@@ -109,6 +111,11 @@ func (rt *Runtime) registerRuntimeFuncs() {
 			defer rt.failedMu.Unlock()
 			return uint64(len(rt.failed))
 		})
+	if rt.flt != nil {
+		flt := rt.flt
+		reg.CounterFunc("eactors_faults_injected", "faults fired by the configured injector",
+			func() uint64 { return flt.Injected() })
+	}
 }
 
 // registerChannelFuncs exposes one channel's traffic counters (the
@@ -132,13 +139,17 @@ func (rt *Runtime) registerChannelFuncs(ch *Channel) {
 func (rt *Runtime) Telemetry() *telemetry.Registry { return rt.tel }
 
 // ActorFlightDump returns the flight-recorder dump captured when the
-// named actor's body panicked: the last events of the owning worker up
-// to and including the park. It is nil while the actor is healthy or
-// when telemetry is disabled.
+// named actor's body last panicked: the final events of the owning
+// worker up to and including the park. The dump survives a supervised
+// restart — the post-mortem of a revived actor stays inspectable — and
+// is nil for an actor that never failed or when telemetry is disabled.
 func (rt *Runtime) ActorFlightDump(name string) []telemetry.Event {
 	inst, ok := rt.actors[name]
-	if !ok || !inst.failed.Load() {
+	if !ok {
 		return nil
 	}
-	return inst.dump
+	if dump := inst.dump.Load(); dump != nil {
+		return *dump
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
 )
@@ -38,6 +39,10 @@ type Worker struct {
 	// recorder; both nil unless Config.Telemetry was set.
 	m   *metrics
 	rec *telemetry.Recorder
+
+	// inj is the runtime's fault injector (Config.Faults); nil in
+	// production. The worker consults it at the invoke site.
+	inj *faults.Injector
 
 	stop chan struct{}
 	done chan struct{}
@@ -87,7 +92,15 @@ func (w *Worker) invoke(a *actorInstance) {
 			if w.m != nil {
 				w.m.parks.Inc(w.id)
 				w.rec.Record(telemetry.EvPark, a.tag, 0)
-				a.dump = w.rec.Dump(0)
+				dump := w.rec.Dump(0)
+				a.dump.Store(&dump)
+			}
+			// Schedule the supervised restart (if the policy grants one)
+			// before the park becomes visible, so any observer that sees
+			// failed==true also sees the deadline.
+			if !a.spec.Restart.exhausted(a.restarts.Load()) {
+				delay := a.spec.Restart.backoff(a.restarts.Load())
+				a.restartAt.Store(time.Now().Add(delay).UnixNano())
 			}
 			a.failed.Store(true)
 			w.rt.actorFailed(a.spec.Name)
@@ -112,8 +125,89 @@ func (w *Worker) invoke(a *actorInstance) {
 	}
 }
 
+// restartDue reports whether a parked actor's restart should be
+// performed now: either its backoff deadline passed or the SUPERVISOR
+// forced it.
+func (w *Worker) restartDue(a *actorInstance) bool {
+	if a.forceRestart.Load() {
+		return true
+	}
+	due := a.restartAt.Load()
+	return due != 0 && time.Now().UnixNano() >= due
+}
+
+// restart revives a parked actor on its owning worker thread — the only
+// thread allowed to touch the actor's endpoints, which is what makes
+// the mailbox flush safe without locks. The worker has already entered
+// the actor's enclave. It returns false when a Reinit failure re-parked
+// the actor.
+func (w *Worker) restart(a *actorInstance) bool {
+	a.forceRestart.Store(false)
+	a.restartAt.Store(0)
+	if a.spec.Restart.FlushMailbox {
+		for _, ep := range a.endpoints {
+			for {
+				node, ok := ep.in.Dequeue()
+				if !ok {
+					break
+				}
+				_ = ep.pool.Put(node)
+			}
+		}
+	}
+	if a.spec.Restart.Reinit && a.spec.Init != nil {
+		if err := a.spec.Init(a.self); err != nil {
+			// A failing constructor is another failure: count it and
+			// re-park with the next backoff step (or permanently once
+			// the policy is exhausted).
+			a.failure = fmt.Sprintf("reinit: %v", err)
+			n := a.restarts.Add(1)
+			if !a.spec.Restart.exhausted(n) {
+				a.restartAt.Store(time.Now().Add(a.spec.Restart.backoff(n)).UnixNano())
+			}
+			return false
+		}
+	}
+	n := a.restarts.Add(1)
+	if w.m != nil {
+		w.m.restarts.Inc(w.id)
+		w.rec.Record(telemetry.EvRestart, a.tag, n)
+	}
+	a.failed.Store(false)
+	w.rt.actorRestarted(a.spec.Name)
+	return true
+}
+
+// nextRestartDelay returns the time until the earliest pending restart
+// of this worker's actors, so the idle wait never sleeps through a
+// backoff deadline.
+func (w *Worker) nextRestartDelay() (time.Duration, bool) {
+	var earliest int64
+	for _, a := range w.actors {
+		if !a.failed.Load() {
+			continue
+		}
+		due := a.restartAt.Load()
+		if due == 0 {
+			continue
+		}
+		if earliest == 0 || due < earliest {
+			earliest = due
+		}
+	}
+	if earliest == 0 {
+		return 0, false
+	}
+	d := time.Until(time.Unix(0, earliest))
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
 // idleWait parks the worker until its doorbell rings, the idle-sleep
-// timeout elapses, or shutdown is requested.
+// timeout elapses, a pending restart comes due, or shutdown is
+// requested.
 func (w *Worker) idleWait(timer *time.Timer) {
 	// Clear a stale ring so the bell reflects "work arrived after the
 	// last full round".
@@ -126,7 +220,11 @@ func (w *Worker) idleWait(timer *time.Timer) {
 		w.m.idles.Inc(w.id)
 		w.rec.Record(telemetry.EvIdle, 0, 0)
 	}
-	timer.Reset(w.idleSleep)
+	sleep := w.idleSleep
+	if d, ok := w.nextRestartDelay(); ok && d < sleep {
+		sleep = d
+	}
+	timer.Reset(sleep)
 	select {
 	case <-w.doorbell:
 		if w.m != nil {
@@ -168,8 +266,12 @@ func (w *Worker) run() {
 
 		progressed := false
 		for _, a := range w.actors {
+			restarting := false
 			if a.failed.Load() {
-				continue
+				if !w.restartDue(a) {
+					continue
+				}
+				restarting = true
 			}
 			if a.enclave != nil {
 				if err := w.ctx.Enter(a.enclave); err != nil {
@@ -180,6 +282,19 @@ func (w *Worker) run() {
 				}
 			} else {
 				w.ctx.Exit()
+			}
+			if restarting {
+				if !w.restart(a) {
+					continue
+				}
+				// The revived body runs immediately below; the restart
+				// itself is progress.
+				progressed = true
+			}
+			if w.inj != nil {
+				if act := w.inj.At(faults.SiteInvoke); act.Class == faults.Delay {
+					time.Sleep(act.Delay)
+				}
 			}
 			a.self.progressed = false
 			a.self.drainLeft = w.drainBudget

@@ -32,15 +32,33 @@ func (s *System) Table() *Table { return s.table }
 // Shutdown closes every socket; call after the runtime has stopped.
 func (s *System) Shutdown() { s.table.CloseAll() }
 
-// reply sends a message on ep, retrying is impossible in a non-blocking
-// body, so failures are reported to the caller.
-func reply(ep *core.Endpoint, m Msg, scratch *[]byte) bool {
+// controlReplyDeadline bounds the SendRetry persistence of control
+// replies (open/accept results) whose loss would wedge the requesting
+// client; data paths shed load instead and never block this long.
+const controlReplyDeadline = 50 * time.Millisecond
+
+// reply encodes m and sends it on ep. The returned error is typed:
+// core.ErrMailboxFull / core.ErrPoolEmpty mean a transient shortage the
+// caller may retry on a later invocation; anything else is an encoding
+// failure.
+func reply(ep *core.Endpoint, m Msg, scratch *[]byte) error {
 	buf, err := m.AppendTo((*scratch)[:0])
 	if err != nil {
-		return false
+		return err
 	}
 	*scratch = buf
-	return ep.Send(buf) == nil
+	return ep.Send(buf)
+}
+
+// replyRetry is reply with bounded persistence (Endpoint.SendRetry) for
+// control messages that must not be lost to a transiently full channel.
+func replyRetry(ep *core.Endpoint, m Msg, scratch *[]byte) error {
+	buf, err := m.AppendTo((*scratch)[:0])
+	if err != nil {
+		return err
+	}
+	*scratch = buf
+	return ep.SendRetry(buf, time.Now().Add(controlReplyDeadline))
 }
 
 // OpenerSpec builds the OPENER eactor serving the named channels: it
@@ -79,21 +97,24 @@ func (s *System) OpenerSpec(name string, worker int, channels ...string) core.Sp
 				case MsgListen:
 					lis, err := net.Listen("tcp", string(msg.Data))
 					if err != nil {
-						reply(ep, Msg{Type: MsgOpenErr, Data: []byte(err.Error())}, &scratch)
+						// A dropped open result wedges the requester, so
+						// these replies persist through transient fullness;
+						// past the deadline the client's own timeout rules.
+						_ = replyRetry(ep, Msg{Type: MsgOpenErr, Data: []byte(err.Error())}, &scratch) //sendcheck:ok
 						continue
 					}
 					sock := table.AddListener(lis)
 					// Return the bound address so ":0" listens work.
-					reply(ep, Msg{Type: MsgOpenOK, Sock: sock.id, Data: []byte(lis.Addr().String())}, &scratch)
+					_ = replyRetry(ep, Msg{Type: MsgOpenOK, Sock: sock.id, Data: []byte(lis.Addr().String())}, &scratch) //sendcheck:ok
 				case MsgDial:
 					conn, err := net.DialTimeout("tcp", string(msg.Data), dialTimeout)
 					if err != nil {
-						reply(ep, Msg{Type: MsgOpenErr, Data: []byte(err.Error())}, &scratch)
+						_ = replyRetry(ep, Msg{Type: MsgOpenErr, Data: []byte(err.Error())}, &scratch) //sendcheck:ok
 						continue
 					}
 					sock := table.AddConn(conn)
 					table.stats.dials.Add(1)
-					reply(ep, Msg{Type: MsgOpenOK, Sock: sock.id}, &scratch)
+					_ = replyRetry(ep, Msg{Type: MsgOpenOK, Sock: sock.id}, &scratch) //sendcheck:ok
 				}
 			}
 		},
@@ -154,7 +175,7 @@ func (s *System) AccepterSpec(name string, worker int, channels ...string) core.
 							break drain
 						}
 					}
-					if !reply(w.ep, Msg{Type: MsgAccepted, Sock: id}, &scratch) {
+					if reply(w.ep, Msg{Type: MsgAccepted, Sock: id}, &scratch) != nil {
 						w.pending = id // channel full: retry next round
 						break drain
 					}
@@ -241,7 +262,7 @@ func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Sp
 func (s *System) drainSocket(self *core.Self, w *readWatch, stage *core.SendStage, scratch *[]byte) bool {
 	// Retry frames a previously full channel left behind, in order.
 	for len(w.pending) > 0 {
-		n, _ := w.ep.SendBatch(w.pending)
+		n, _ := w.ep.SendBatch(w.pending) //sendcheck:ok
 		if n == 0 {
 			return true // still backed up; chunks wait in the inbox
 		}
@@ -275,7 +296,7 @@ func (s *System) drainSocket(self *core.Self, w *readWatch, stage *core.SendStag
 		}
 	}
 	if stage.Len() > 0 {
-		n, _ := w.ep.SendBatch(stage.Frames())
+		n, _ := w.ep.SendBatch(stage.Frames()) //sendcheck:ok
 		if n > 0 {
 			self.Progress()
 		}
@@ -289,7 +310,7 @@ func (s *System) drainSocket(self *core.Self, w *readWatch, stage *core.SendStag
 		}
 	}
 	if w.sock.eof.Load() && !w.sock.eofSent.Load() && len(w.sock.inbox) == 0 {
-		if reply(w.ep, Msg{Type: MsgClosed, Sock: w.sock.id}, scratch) {
+		if reply(w.ep, Msg{Type: MsgClosed, Sock: w.sock.id}, scratch) == nil {
 			w.sock.eofSent.Store(true)
 			self.Progress()
 			return false

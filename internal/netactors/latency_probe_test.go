@@ -56,14 +56,14 @@ func TestLatencyProbe(t *testing.T) {
 					if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgAccepted {
 						w, _ := (Msg{Type: MsgWatch, Sock: msg.Sock}).AppendTo(state.scratch[:0])
 						state.scratch = w
-						_ = read.Send(w)
+						_ = read.Send(w) //sendcheck:ok
 						self.Progress()
 					}
 				}
 				if n, ok, _ := read.Recv(buf); ok {
 					if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgData {
 						out, _ := (Msg{Type: MsgData, Sock: msg.Sock, Data: msg.Data}).AppendTo(nil)
-						_ = write.Send(out)
+						_ = write.Send(out) //sendcheck:ok
 						self.Progress()
 					}
 				}

@@ -21,9 +21,11 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/faults"
 )
 
 // Store geometry and layout constants.
@@ -67,6 +69,11 @@ var (
 	ErrBadStore    = errors.New("pos: invalid or incompatible store file")
 	ErrClosed      = errors.New("pos: store closed")
 	ErrNoSealedKey = errors.New("pos: no sealed key stored")
+
+	// ErrInjectedSync reports a Sync failed by the fault injector (see
+	// AttachFaults); the store contents are untouched, exactly like a
+	// transient msync error.
+	ErrInjectedSync = errors.New("pos: injected sync failure")
 )
 
 // Options configures Open.
@@ -115,6 +122,17 @@ type Store struct {
 
 	// tel is nil until AttachTelemetry (see telemetry.go).
 	tel atomic.Pointer[storeTelemetry]
+
+	// flt is nil until AttachFaults; Sync consults it for injected
+	// failures and delays.
+	flt atomic.Pointer[faults.Injector]
+}
+
+// AttachFaults arms the store with a deterministic fault injector: each
+// Sync consults the SitePosSync schedule and fails with ErrInjectedSync
+// or stalls when the schedule says so. Nil-safe and O(1) when off.
+func (s *Store) AttachFaults(inj *faults.Injector) {
+	s.flt.Store(inj)
 }
 
 func addrOf(b []byte) uintptr {
@@ -482,6 +500,14 @@ func (s *Store) Delete(key []byte) (bool, error) {
 func (s *Store) Sync() error {
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if inj := s.flt.Load(); inj != nil {
+		switch act := inj.At(faults.SitePosSync); act.Class {
+		case faults.SyncFail:
+			return ErrInjectedSync
+		case faults.Delay:
+			time.Sleep(act.Delay)
+		}
 	}
 	defer s.observeSync(s.opStart())
 	return s.syncer()

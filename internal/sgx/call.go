@@ -2,6 +2,8 @@ package sgx
 
 import (
 	"errors"
+
+	"github.com/eactors/eactors-go/internal/faults"
 )
 
 // This file models the SGX SDK's EDL-generated call path: ECalls enter an
@@ -33,10 +35,10 @@ func (c *Context) ECall(e *Enclave, in, out []byte, fn func()) error {
 	p.chargeCopy(len(in))
 	prev := c.cur
 	e.noteEnter()
-	c.cross() // EENTER
+	c.cross(faults.SiteEnter) // EENTER
 	c.cur = e.id
 	fn()
-	c.cross() // EEXIT
+	c.cross(faults.SiteExit) // EEXIT
 	e.noteExit()
 	c.cur = prev
 	p.chargeCopy(len(out))
@@ -60,13 +62,13 @@ func (c *Context) OCall(in, out []byte, fn func()) error {
 	if insideEnclave != nil {
 		insideEnclave.noteExit()
 	}
-	c.cross() // EEXIT
+	c.cross(faults.SiteExit) // EEXIT
 	c.cur = Untrusted
 	fn()
 	if insideEnclave != nil {
 		insideEnclave.noteEnter()
 	}
-	c.cross() // EENTER
+	c.cross(faults.SiteEnter) // EENTER
 	c.cur = inside
 	p.chargeCopy(len(out))
 	return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
@@ -61,12 +62,12 @@ func (c *Context) MoveTo(target EnclaveID) error {
 		if prev, ok := c.platform.Enclave(c.cur); ok {
 			prev.noteExit()
 		}
-		c.cross() // EEXIT from the current enclave
+		c.cross(faults.SiteExit) // EEXIT from the current enclave
 	}
 	if target != Untrusted {
 		next, _ := c.platform.Enclave(target)
 		next.noteEnter()
-		c.cross() // EENTER into the target enclave
+		c.cross(faults.SiteEnter) // EENTER into the target enclave
 	}
 	c.cur = target
 	return nil
@@ -85,9 +86,14 @@ func (c *Context) Exit() {
 	_ = c.MoveTo(Untrusted)
 }
 
-func (c *Context) cross() {
+func (c *Context) cross(site faults.Site) {
 	c.crossings++
 	d := c.platform.chargeCrossing()
+	if inj := c.platform.flt.Load(); inj != nil {
+		// Injected crossing faults: delayed transitions and transient
+		// EPC spikes, attributed to the domain at call time.
+		c.platform.applyCrossingFault(inj.At(site), c.cur)
+	}
 	if c.rec != nil {
 		// ID is the domain crossed out of / into (c.cur at call time).
 		c.rec.Record(telemetry.EvCrossing, uint32(c.cur), uint64(d))

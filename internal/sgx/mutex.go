@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/eactors/eactors-go/internal/faults"
 )
 
 // Mutex models the SGX SDK's sgx_thread_mutex. A thread inside an
@@ -73,7 +75,7 @@ func (m *Mutex) Lock(ctx *Context) {
 		p.mutexSleeps.Add(1)
 		m.sleepers.Add(1)
 		if inEnclave {
-			ctx.cross() // EEXIT towards the untrusted event
+			ctx.cross(faults.SiteExit) // EEXIT towards the untrusted event
 		}
 		m.mu.Lock()
 		gen := m.gen
@@ -85,7 +87,7 @@ func (m *Mutex) Lock(ctx *Context) {
 		m.mu.Unlock()
 		m.sleepers.Add(-1)
 		if inEnclave {
-			ctx.cross() // EENTER to retry
+			ctx.cross(faults.SiteEnter) // EENTER to retry
 		}
 		// Barging retry: another thread may already hold the lock again.
 		if m.tryAcquire() {
@@ -102,8 +104,8 @@ func (m *Mutex) Unlock(ctx *Context) {
 		return
 	}
 	if ctx != nil && ctx.InEnclave() {
-		ctx.cross() // EEXIT for sgx_thread_set_untrusted_event
-		ctx.cross() // EENTER back
+		ctx.cross(faults.SiteExit)  // EEXIT for sgx_thread_set_untrusted_event
+		ctx.cross(faults.SiteEnter) // EENTER back
 	}
 	m.mu.Lock()
 	m.gen++

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/eactors/eactors-go/internal/faults"
 )
 
 // EnclaveID identifies an enclave on a Platform. The zero value denotes
@@ -56,6 +58,10 @@ type Platform struct {
 	// tel is nil until AttachTelemetry; charge paths pay one atomic
 	// pointer load to find out.
 	tel atomic.Pointer[platformTelemetry]
+
+	// flt is nil until AttachFaults; hook sites pay the same single
+	// atomic pointer load.
+	flt atomic.Pointer[faults.Injector]
 
 	crossings    atomic.Uint64
 	ecalls       atomic.Uint64

@@ -5,6 +5,8 @@ import (
 	"crypto/cipher"
 	"errors"
 	"fmt"
+
+	"github.com/eactors/eactors-go/internal/faults"
 )
 
 // ErrSealTooShort is returned when unsealing a blob shorter than the
@@ -31,6 +33,14 @@ func (e *Enclave) Seal(plaintext, aad []byte) ([]byte, error) {
 	nonce := make([]byte, sealNonceSize, sealNonceSize+len(plaintext)+gcm.Overhead())
 	e.ReadRand(nonce)
 	blob := gcm.Seal(nonce, nonce, plaintext, aad)
+	if inj := e.platform.flt.Load(); inj != nil {
+		// Injected seal corruption: the blob authenticates against its
+		// own key no longer, so the eventual Unseal rejects it — the
+		// fault surfaces exactly where a bit-rotted sealed file would.
+		if inj.At(faults.SiteSeal).Class == faults.SealCorrupt {
+			corruptSealedBlob(blob)
+		}
+	}
 	e.platform.observeSealOp(false, start)
 	return blob, nil
 }

@@ -1,14 +1,31 @@
 package smc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/eactors/eactors-go/internal/core"
 	"github.com/eactors/eactors-go/internal/sgx"
 )
+
+// Ring wire format: a 4-byte little-endian round tag followed by the
+// masked vector. The tag is what makes the ring loss-tolerant — without
+// it, one dropped or corrupted message (an injected fault, or an
+// adversarial runtime discarding a node) would stall rounds forever:
+//
+//   - the first party retransmits the current round (identical tag and
+//     mask, so recomputation is idempotent) when it does not come back
+//     within RetransmitAfter;
+//   - inner parties process each tag once, answer a duplicate tag by
+//     re-forwarding their cached output (so a retransmission propagates
+//     past parties that already saw the round), and drop tags older
+//     than the last processed one;
+//   - the first party drops any tag but the current round's.
+const ringTagBytes = 4
 
 // EAService is the EActors deployment of the secure-sum protocol
 // (Figure 9a): each party is an eactor in its own enclave with its own
@@ -32,7 +49,7 @@ func StartEA(opts Options) (*EAService, error) {
 	svc := &EAService{opts: opts}
 
 	k := opts.Parties
-	payload := 4*opts.Dim + 64
+	payload := ringTagBytes + 4*opts.Dim + 64
 	if payload < 256 {
 		payload = 256
 	}
@@ -40,6 +57,7 @@ func StartEA(opts Options) (*EAService, error) {
 		NodePayload: payload,
 		PoolNodes:   4 * k,
 		Workers:     make([]core.WorkerSpec, k),
+		Faults:      opts.Faults,
 	}
 	for p := 0; p < k; p++ {
 		cfg.Enclaves = append(cfg.Enclaves, core.EnclaveSpec{Name: enclaveName(p)})
@@ -77,11 +95,20 @@ func ringName(p int) string    { return fmt.Sprintf("ring-%d", p) }
 
 // partyState is one party eactor's private state.
 type partyState struct {
-	secret  []uint32
-	rnd     []uint32 // first party only
-	m       []uint32
-	buf     []byte
-	inRound bool // first party only
+	secret []uint32
+	rnd    []uint32 // first party only
+	m      []uint32
+
+	// buf holds the party's current outbound message (tag || vector) —
+	// retained after sending so it can be retransmitted verbatim; rbuf
+	// is the separate inbound staging buffer.
+	buf  []byte
+	rbuf []byte
+
+	inRound bool      // first party: a round is in flight
+	round   uint32    // first: current round tag; inner: last processed tag
+	sentAt  time.Time // first party: last (re)transmission
+	pending bool      // inner party: buf awaits a (re)send on a full channel
 }
 
 // partySpec builds party p's eactor.
@@ -92,7 +119,8 @@ func (svc *EAService) partySpec(p int) core.Spec {
 	st := &partyState{
 		secret: initialSecret(p, opts.Dim),
 		m:      make([]uint32, opts.Dim),
-		buf:    make([]byte, 4*opts.Dim),
+		buf:    make([]byte, ringTagBytes+4*opts.Dim),
+		rbuf:   make([]byte, ringTagBytes+4*opts.Dim),
 	}
 	if first {
 		st.rnd = make([]uint32, opts.Dim)
@@ -123,59 +151,103 @@ func (svc *EAService) partySpec(p int) core.Spec {
 }
 
 // firstPartyBody starts rounds and unmasks results (party P1 of the
-// paper).
+// paper), retransmitting a round that does not come back in time.
 func (svc *EAService) firstPartyBody(self *core.Self, st *partyState, in, out *core.Endpoint, enclave *sgx.Enclave, costs *sgx.CostModel) {
 	if !st.inRound {
 		// Refill the mask from the trusted RNG — the cost the paper
 		// identifies as the plain protocol's bottleneck.
 		enclave.ReadRandUint32s(st.rnd)
 		maskVector(st.m, st.secret, st.rnd)
-		encodeVector(st.buf, st.m)
+		binary.LittleEndian.PutUint32(st.buf, st.round+1)
+		encodeVector(st.buf[ringTagBytes:], st.m)
 		if out.Send(st.buf) != nil {
-			return // retry next invocation (channel full)
+			return // retry next invocation (channel full or injected drop)
 		}
+		st.round++
 		st.inRound = true
+		st.sentAt = time.Now()
 		self.Progress()
 		return
 	}
-	n, ok, err := in.Recv(st.buf[:cap(st.buf)])
-	if err != nil || !ok {
+	n, ok, err := in.Recv(st.rbuf[:cap(st.rbuf)])
+	if ok {
+		// A corrupted seal (err != nil) consumes the message; recovery
+		// is the retransmission below, like any other loss.
+		if err == nil && n >= ringTagBytes &&
+			binary.LittleEndian.Uint32(st.rbuf) == st.round &&
+			decodeVector(st.m, st.rbuf[ringTagBytes:n]) == nil {
+			sum := make([]uint32, len(st.m))
+			unmask(sum, st.m, st.rnd)
+			svc.mu.Lock()
+			svc.lastSum = sum
+			svc.mu.Unlock()
+			if svc.opts.Dynamic {
+				updateSecret(st.secret, costs)
+			}
+			svc.rounds.Add(1)
+			st.inRound = false
+		}
+		// Anything else — stale tag, corrupt, short — is dropped.
+		self.Progress()
 		return
 	}
-	if decodeVector(st.m, st.buf[:n]) != nil {
-		return
+	if time.Since(st.sentAt) >= svc.opts.RetransmitAfter {
+		// st.buf still holds the round verbatim (tag and mask), so a
+		// retransmission is idempotent at every hop.
+		if out.Send(st.buf) == nil {
+			self.Progress()
+		}
+		st.sentAt = time.Now()
 	}
-	sum := make([]uint32, len(st.m))
-	unmask(sum, st.m, st.rnd)
-	svc.mu.Lock()
-	svc.lastSum = sum
-	svc.mu.Unlock()
-	if svc.opts.Dynamic {
-		updateSecret(st.secret, costs)
-	}
-	svc.rounds.Add(1)
-	st.inRound = false
-	self.Progress()
 }
 
 // innerPartyBody adds this party's secret and forwards the message.
+// Each round tag is processed exactly once: a duplicate tag re-forwards
+// the cached output (propagating a retransmission past this hop), an
+// older tag is dropped.
 func (svc *EAService) innerPartyBody(self *core.Self, st *partyState, in, out *core.Endpoint, costs *sgx.CostModel) {
-	n, ok, err := in.Recv(st.buf[:cap(st.buf)])
-	if err != nil || !ok {
+	if st.pending {
+		// An earlier forward hit a full channel or injected drop; the
+		// ring is ordered, so flush it before consuming new input.
+		if out.Send(st.buf) != nil {
+			return
+		}
+		st.pending = false
+		self.Progress()
+	}
+	n, ok, err := in.Recv(st.rbuf[:cap(st.rbuf)])
+	if !ok {
 		return
 	}
-	if decodeVector(st.m, st.buf[:n]) != nil {
+	self.Progress()
+	if err != nil || n < ringTagBytes {
+		return // corrupted or short: the first party will retransmit
+	}
+	tag := binary.LittleEndian.Uint32(st.rbuf)
+	if tag == st.round {
+		// Duplicate of the round we already processed: our cached
+		// output in st.buf is the correct answer; re-forward it so the
+		// retransmission reaches the parties downstream of us.
+		if out.Send(st.buf) != nil {
+			st.pending = true
+		}
 		return
+	}
+	if tag < st.round || decodeVector(st.m, st.rbuf[ringTagBytes:n]) != nil {
+		return // stale round or torn payload: drop
 	}
 	addSecret(st.m, st.secret)
-	encodeVector(st.buf, st.m)
-	// The ring capacity covers all in-flight rounds, so a full channel
-	// cannot occur while a round is outstanding; treat it as fatal drop.
-	_ = out.Send(st.buf)
+	binary.LittleEndian.PutUint32(st.buf, tag)
+	encodeVector(st.buf[ringTagBytes:], st.m)
+	st.round = tag
+	if out.Send(st.buf) != nil {
+		st.pending = true
+	}
+	// The secret update is per processed tag, so retransmissions never
+	// double-apply it and the dynamic case stays consistent under loss.
 	if svc.opts.Dynamic {
 		updateSecret(st.secret, costs)
 	}
-	self.Progress()
 }
 
 // Rounds returns the number of completed secure sums.

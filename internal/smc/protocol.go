@@ -15,7 +15,9 @@ package smc
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
+	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/sgx"
 )
 
@@ -133,7 +135,19 @@ type Options struct {
 	Dynamic bool
 	// Platform supplies the SGX simulation; nil creates a default one.
 	Platform *sgx.Platform
+	// Faults arms the EActors deployment's runtime with a fault
+	// injector (chaos testing); nil in production.
+	Faults *faults.Injector
+	// RetransmitAfter is how long the first party waits for a round to
+	// come back around the ring before retransmitting it (the recovery
+	// path for injected drops and corrupted seals). Zero uses
+	// DefaultRetransmitAfter.
+	RetransmitAfter time.Duration
 }
+
+// DefaultRetransmitAfter is generous against the ring's microsecond-
+// scale hop latency, so retransmissions only fire on genuine loss.
+const DefaultRetransmitAfter = 5 * time.Millisecond
 
 func (o *Options) normalise() error {
 	if o.Parties < 2 {
@@ -144,6 +158,9 @@ func (o *Options) normalise() error {
 	}
 	if o.Platform == nil {
 		o.Platform = sgx.NewPlatform()
+	}
+	if o.RetransmitAfter <= 0 {
+		o.RetransmitAfter = DefaultRetransmitAfter
 	}
 	return nil
 }

@@ -237,7 +237,7 @@ func (s *System) FilerSpec(name string, worker int, channels ...string) core.Spe
 				// Best effort, like the single reply path was: unsent
 				// replies are dropped; requesters treat the filer as
 				// at-least-once and may retry.
-				_, _ = ep.SendBatch(stage.Frames())
+				_, _ = ep.SendBatch(stage.Frames()) //sendcheck:ok
 			}
 		},
 	}

@@ -2,11 +2,18 @@ package xmpp
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/eactors/eactors-go/internal/core"
 	"github.com/eactors/eactors-go/internal/netactors"
 	"github.com/eactors/eactors-go/internal/xmpp/stanza"
 )
+
+// controlDeadline bounds SendRetry on the connector's control sends
+// (watch/unwatch, handoff, handshake frames, teardown closes): losing
+// one of these wedges a client session, so they persist through
+// transient channel fullness and injected send failures.
+func controlDeadline() time.Time { return time.Now().Add(50 * time.Millisecond) }
 
 // connectorState is the CONNECTOR eactor's private state.
 type connectorState struct {
@@ -67,19 +74,24 @@ func (srv *Server) connectorSpec(opts Options, worker int, enclave string, shard
 					self.Progress()
 				}
 			case cphAwaitListener:
-				n, ok, err := open.Recv(st.recvBuf)
-				if err != nil || !ok {
-					return
+				if st.listener == 0 {
+					n, ok, err := open.Recv(st.recvBuf)
+					if err != nil || !ok {
+						return
+					}
+					msg, err := netactors.ParseMsg(st.recvBuf[:n])
+					if err != nil || msg.Type != netactors.MsgOpenOK {
+						return
+					}
+					st.listener = msg.Sock
+					addrCh <- string(msg.Data)
 				}
-				msg, err := netactors.ParseMsg(st.recvBuf[:n])
-				if err != nil || msg.Type != netactors.MsgOpenOK {
-					return
-				}
-				st.listener = msg.Sock
-				addrCh <- string(msg.Data)
-				w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: msg.Sock}).AppendTo(st.scratch[:0])
+				// The MsgOpenOK is consumed by now, so this phase must be
+				// re-enterable until the watch lands: an unwatched listener
+				// accepts nobody, ever.
+				w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: st.listener}).AppendTo(st.scratch[:0])
 				st.scratch = w
-				if accept.Send(w) == nil {
+				if accept.SendRetry(w, controlDeadline()) == nil {
 					st.phase = cphServe
 					self.Progress()
 				}
@@ -108,7 +120,9 @@ func (srv *Server) connectorServe(self *core.Self, st *connectorState,
 		st.sessions[msg.Sock] = &session{sock: msg.Sock}
 		w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: msg.Sock}).AppendTo(st.scratch[:0])
 		st.scratch = w
-		_ = read.Send(w)
+		// An unwatched socket never produces handshake bytes, so the
+		// watch must survive a transiently full channel.
+		_ = read.SendRetry(w, controlDeadline()) //sendcheck:ok
 		self.Progress()
 	}
 
@@ -130,7 +144,7 @@ func (srv *Server) connectorServe(self *core.Self, st *connectorState,
 		case netactors.MsgData:
 			if shard, ok := st.handedOff[msg.Sock]; ok {
 				// Raced the reader handover: forward to the new owner.
-				_ = handoff[shard].Send(encodeStray(msg.Sock, msg.Data))
+				_ = handoff[shard].SendRetry(encodeStray(msg.Sock, msg.Data), controlDeadline()) //sendcheck:ok
 				continue
 			}
 			sess, ok := st.sessions[msg.Sock]
@@ -150,11 +164,13 @@ func (srv *Server) connectorHandshake(self *core.Self, st *connectorState, sess 
 
 	fail := func() {
 		srv.authFail.Add(1)
-		srv.sendFrame(write, sess.sock, []byte(stanza.AuthFailure), &st.scratch)
+		_ = srv.sendFrame(write, sess.sock, []byte(stanza.AuthFailure), &st.scratch) //sendcheck:ok
 		// The close travels on the WRITER's channel behind the failure
-		// frame, so the peer sees the rejection before the reset.
+		// frame, so the peer sees the rejection before the reset. A lost
+		// close leaks the socket, so it persists like the other control
+		// sends.
 		c, _ := (netactors.Msg{Type: netactors.MsgClose, Sock: sess.sock}).AppendTo(nil)
-		_ = write.Send(c)
+		_ = write.SendRetry(c, controlDeadline()) //sendcheck:ok
 		delete(st.sessions, sess.sock)
 	}
 
@@ -174,7 +190,7 @@ func (srv *Server) connectorHandshake(self *core.Self, st *connectorState, sess 
 				return
 			}
 			sess.sawHdr = true
-			srv.sendFrame(write, sess.sock, []byte(stanza.StreamHeader(ServiceName, el.Attr("from"))), &st.scratch)
+			_ = srv.sendFrame(write, sess.sock, []byte(stanza.StreamHeader(ServiceName, el.Attr("from"))), &st.scratch) //sendcheck:ok
 		case el.Kind == stanza.KindStanza && el.Name == "auth":
 			user := el.Attr("user")
 			key := el.Attr("key")
@@ -187,16 +203,18 @@ func (srv *Server) connectorHandshake(self *core.Self, st *connectorState, sess 
 			sess.authed = true
 			srv.online.Add(OnlineEntry{User: user, Sock: sess.sock, Key: key})
 			srv.conns.Add(1)
-			srv.sendFrame(write, sess.sock, []byte(stanza.AuthSuccess), &st.scratch)
+			_ = srv.sendFrame(write, sess.sock, []byte(stanza.AuthSuccess), &st.scratch) //sendcheck:ok
 
 			// Hand the connection to its shard: release our READER and
-			// transfer any bytes the scanner still buffers.
+			// transfer any bytes the scanner still buffers. A dropped
+			// handoff would orphan the session — the shard would never
+			// learn the socket exists — so both control sends persist.
 			shard := shardOf(user, shards)
 			u, _ := (netactors.Msg{Type: netactors.MsgUnwatch, Sock: sess.sock}).AppendTo(st.scratch[:0])
 			st.scratch = u
-			_ = read.Send(u)
+			_ = read.SendRetry(u, controlDeadline()) //sendcheck:ok
 			leftover := sess.scanner.Remainder()
-			_ = handoff[shard].Send(encodeHandoff(OnlineEntry{User: user, Sock: sess.sock, Key: key}, leftover))
+			_ = handoff[shard].SendRetry(encodeHandoff(OnlineEntry{User: user, Sock: sess.sock, Key: key}, leftover), controlDeadline()) //sendcheck:ok
 			delete(st.sessions, sess.sock)
 			st.handedOff[sess.sock] = shard
 			self.Progress()
@@ -209,12 +227,15 @@ func (srv *Server) connectorHandshake(self *core.Self, st *connectorState, sess 
 	}
 }
 
-// sendFrame wraps bytes in a MsgData frame and sends them to a WRITER.
-func (srv *Server) sendFrame(write *core.Endpoint, sock uint32, data []byte, scratch *[]byte) bool {
+// sendFrame wraps bytes in a MsgData frame and sends them to a WRITER
+// with bounded persistence — handshake frames are part of the control
+// plane; a client blocks on every one of them. The error is typed
+// (core.ErrMailboxFull past the deadline) for callers that care.
+func (srv *Server) sendFrame(write *core.Endpoint, sock uint32, data []byte, scratch *[]byte) error {
 	m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: data}).AppendTo((*scratch)[:0])
 	if err != nil {
-		return false
+		return err
 	}
 	*scratch = m
-	return write.Send(m) == nil
+	return write.SendRetry(m, controlDeadline())
 }

@@ -123,7 +123,7 @@ func (srv *Server) roomShardSpec(opts Options, j, worker int, enclave, room stri
 			// Retry frames that previously hit a full channel, as one
 			// batch in FIFO order.
 			if len(pending) > 0 {
-				n, _ := write.SendBatch(pending)
+				n, _ := write.SendBatch(pending) //sendcheck:ok
 				if n > 0 {
 					self.Progress()
 					pending = pending[n:]
@@ -148,7 +148,7 @@ func (srv *Server) roomShardSpec(opts Options, j, worker int, enclave, room stri
 			if stage.Len() > 0 {
 				sent := 0
 				if len(pending) == 0 {
-					sent, _ = write.SendBatch(stage.Frames())
+					sent, _ = write.SendBatch(stage.Frames()) //sendcheck:ok
 				}
 				if sent > 0 {
 					self.Progress()

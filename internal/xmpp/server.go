@@ -8,6 +8,7 @@ import (
 
 	"github.com/eactors/eactors-go/internal/core"
 	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/netactors"
 	"github.com/eactors/eactors-go/internal/pos"
 	"github.com/eactors/eactors-go/internal/sgx"
@@ -54,6 +55,9 @@ type Options struct {
 	// per-worker flight recorders. Export via Server.Telemetry — e.g.
 	// telemetry.Serve for the Prometheus/pprof endpoint.
 	Telemetry bool
+	// Faults arms the runtime's deterministic fault injector
+	// (core.Config.Faults) for chaos testing; nil in production.
+	Faults *faults.Injector
 }
 
 // Stats are the service counters.
@@ -229,6 +233,7 @@ func (srv *Server) buildConfig(opts Options, enclaveCount int) (core.Config, cha
 		PoolNodes:   opts.PoolNodes,
 		NodePayload: opts.NodePayload,
 		Telemetry:   opts.Telemetry,
+		Faults:      opts.Faults,
 	}
 
 	// Workers: 0 = connector, 1 = connector networking, then per shard a

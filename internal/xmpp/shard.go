@@ -90,7 +90,7 @@ func (srv *Server) shardSpec(opts Options, i, worker int, enclave string) core.S
 			// Retry frames that previously hit a full channel, as one
 			// batch in FIFO order.
 			if len(st.pending) > 0 {
-				n, _ := write.SendBatch(st.pending)
+				n, _ := write.SendBatch(st.pending) //sendcheck:ok
 				if n > 0 {
 					self.Progress()
 					st.pending = st.pending[n:]
@@ -161,7 +161,8 @@ func (srv *Server) shardHandoff(self *core.Self, st *shardState, read *core.Endp
 		st.pcl[entry.Sock] = sess
 		w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: entry.Sock}).AppendTo(st.scratch[:0])
 		st.scratch = w
-		_ = read.Send(w)
+		// A lost watch leaves the session permanently deaf; persist it.
+		_ = read.SendRetry(w, controlDeadline()) //sendcheck:ok
 		self.Progress()
 	case handoffStray:
 		sock, data, err := decodeStray(payload)
@@ -243,7 +244,9 @@ func (srv *Server) routeGroup(st *shardState, sess *session, el *stanza.Stanza, 
 			sender: sess.user, keyHex: sess.keyHex,
 			room: room, sealedHex: el.Body(),
 		})
-		_ = st.roomFwd[j].Send(fwd)
+		// Data-plane send: a full room channel sheds the message (clients
+		// retry at the application layer) rather than blocking the shard.
+		_ = st.roomFwd[j].Send(fwd) //sendcheck:ok
 		return
 	}
 	members := srv.rooms.Members(room)
@@ -366,7 +369,7 @@ func (srv *Server) flushWrites(st *shardState, write *core.Endpoint) {
 	}
 	sent := 0
 	if len(st.pending) == 0 {
-		sent, _ = write.SendBatch(st.stage.Frames())
+		sent, _ = write.SendBatch(st.stage.Frames()) //sendcheck:ok
 	}
 	for _, f := range st.stage.Frames()[sent:] {
 		if len(st.pending) >= maxPendingWrites {
@@ -387,7 +390,9 @@ func (srv *Server) shardDisconnect(st *shardState, closeCh *core.Endpoint, sock 
 	srv.online.Remove(sess.user)
 	srv.rooms.LeaveAll(sess.user)
 	if closeSock {
+		// A lost close leaks the socket; persist it like the other
+		// control sends.
 		c, _ := (netactors.Msg{Type: netactors.MsgClose, Sock: sock}).AppendTo(nil)
-		_ = closeCh.Send(c)
+		_ = closeCh.SendRetry(c, controlDeadline()) //sendcheck:ok
 	}
 }
