@@ -70,20 +70,42 @@ type actorInstance struct {
 
 	// failed parks the actor after a body panic (blast-radius
 	// containment); failure records the panic value and dump captures
-	// the owning worker's flight recorder at the moment of the park
-	// (an atomic pointer so post-mortems stay readable — race-free —
-	// after a supervised restart overwrites it on the next park).
+	// the owning worker's flight recorder at the moment of the park.
+	// Both are atomic pointers so post-mortems stay readable —
+	// race-free — after a supervised restart overwrites them on the
+	// next park.
 	failed  atomic.Bool
-	failure string
+	failure atomic.Pointer[string]
 	dump    atomic.Pointer[[]telemetry.Event]
 
 	// Supervision state. restarts counts completed restarts; restartAt
 	// is the UnixNano deadline of the pending restart (0 when none is
-	// scheduled); forceRestart is the SUPERVISOR's manual override,
-	// honoured by the owning worker regardless of policy and backoff.
-	restarts     atomic.Uint64
-	restartAt    atomic.Int64
-	forceRestart atomic.Bool
+	// scheduled). parkGen counts parks, and forceGen holds the park
+	// generation a manual RestartActor override targeted (0 = none):
+	// the owning worker honours the override — regardless of policy and
+	// backoff — only while the generations match, so a force issued
+	// against a park the worker has already restarted can never leak
+	// onto a healthy actor and bypass MaxRestarts on its next park.
+	restarts  atomic.Uint64
+	restartAt atomic.Int64
+	parkGen   atomic.Uint64
+	forceGen  atomic.Uint64
+}
+
+// failureText returns the last recorded panic value ("" if the actor
+// never failed). Safe from any goroutine.
+func (a *actorInstance) failureText() string {
+	if s := a.failure.Load(); s != nil {
+		return *s
+	}
+	return ""
+}
+
+// forcePending reports whether a manual restart override targets the
+// actor's current park.
+func (a *actorInstance) forcePending() bool {
+	fg := a.forceGen.Load()
+	return fg != 0 && fg == a.parkGen.Load()
 }
 
 // Self is the handle passed to an eactor's Init and Body; it provides

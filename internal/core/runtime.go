@@ -88,7 +88,7 @@ func (rt *Runtime) ActorFailure(name string) (string, bool) {
 	if !ok || !inst.failed.Load() {
 		return "", false
 	}
-	return inst.failure, true
+	return inst.failureText(), true
 }
 
 // NewRuntime validates cfg and builds a runtime on the given platform.

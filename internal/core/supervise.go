@@ -107,7 +107,7 @@ func (rt *Runtime) Supervision() []ActorSupervision {
 			Policy:   inst.spec.Restart,
 		}
 		if s.Parked {
-			s.Failure = inst.failure
+			s.Failure = inst.failureText()
 			if due := inst.restartAt.Load(); due != 0 {
 				s.RestartDue = true
 				if d := time.Until(time.Unix(0, due)); d > 0 {
@@ -143,7 +143,12 @@ func (rt *Runtime) RestartActor(name string) error {
 	if !inst.failed.Load() {
 		return fmt.Errorf("core: actor %q is not parked", name)
 	}
-	inst.forceRestart.Store(true)
+	// Target the park we just observed (or a newer one): the worker
+	// honours the override only while the generations still match, so
+	// if it restarts the actor concurrently the force expires instead
+	// of lingering on a healthy actor and bypassing its policy on the
+	// next park.
+	inst.forceGen.Store(inst.parkGen.Load())
 	inst.worker.Wake()
 	return nil
 }

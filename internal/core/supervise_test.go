@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -385,6 +386,78 @@ func TestMonitorDumpOfRestartedActor(t *testing.T) {
 	}
 }
 
+// TestFailureReadDuringRestarts is the regression test for the
+// failure-record race under supervision: a flapping actor re-parks and
+// overwrites its failure text while other goroutines read it through
+// ActorFailure and Supervision. Run under -race this fails when the
+// text is stored as a plain string instead of an atomic pointer; the
+// prefix check additionally catches torn reads without the detector.
+func TestFailureReadDuringRestarts(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{
+		Workers: []WorkerSpec{{}},
+		Actors: []Spec{
+			{
+				Name: "flapper", Worker: 0,
+				Restart: RestartPolicy{OnPanic: true, Backoff: time.Microsecond, MaxBackoff: time.Microsecond},
+				Body: func(*Self) {
+					panic(fmt.Sprintf("crash number %d with a message long enough to tear", runs.Add(1)))
+				},
+			},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.ActorRestarts("flapper") < 25 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d restarts before the deadline", rt.ActorRestarts("flapper"))
+		}
+		if msg, ok := rt.ActorFailure("flapper"); ok && !strings.HasPrefix(msg, "crash number ") {
+			t.Fatalf("torn failure read: %q", msg)
+		}
+		for _, s := range rt.Supervision() {
+			if s.Parked && !strings.HasPrefix(s.Failure, "crash number ") {
+				t.Fatalf("torn supervision failure: %q", s.Failure)
+			}
+		}
+	}
+}
+
+// TestForceExpiresAcrossRestart pins the generation guard on manual
+// restarts: a force that raced with a concurrent worker restart (so it
+// names a park the worker already revived) must not carry over to the
+// actor's next park and bypass its policy.
+func TestForceExpiresAcrossRestart(t *testing.T) {
+	var a actorInstance
+
+	// Park 1; RestartActor targets it.
+	a.parkGen.Add(1)
+	a.forceGen.Store(a.parkGen.Load())
+	if !a.forcePending() {
+		t.Fatal("force against the current park not pending")
+	}
+
+	// The worker restarts the actor (clearing the force), but a racing
+	// RestartActor that still saw failed==true re-stores the stale
+	// generation afterwards.
+	a.forceGen.Store(0)
+	a.forceGen.Store(1)
+
+	// Next park is a new generation: the stale force must not fire.
+	a.parkGen.Add(1)
+	if a.forcePending() {
+		t.Fatal("stale force survived into the next park")
+	}
+}
+
 // TestPanicParkUnderConcurrentTraffic: an actor crashing while two
 // producers on other workers hammer its mailbox parks exactly once;
 // the producers degrade to ErrMailboxFull (typed, not a wedge or a
@@ -424,48 +497,47 @@ func TestPanicParkUnderConcurrentTraffic(t *testing.T) {
 	defer rt.Stop()
 
 	// Two goroutines drive the producers' endpoints concurrently with
-	// the crash, as cross-worker traffic would.
+	// the crash, as cross-worker traffic would. The main loop waits for
+	// a rejected send before stopping them — against a parked 4-slot
+	// mailbox one is inevitable, but only once the producers have had
+	// the cycles to overfill it.
+	var full atomic.Int64
 	stop := make(chan struct{})
-	fullCh := make(chan int, 2)
+	done := make(chan struct{}, 2)
 	for i, name := range []string{"prod-1", "prod-2"} {
 		ep := rt.actors[name].endpoints[[]string{"t1", "t2"}[i]]
 		go func(ep *Endpoint) {
-			full := 0
+			defer func() { done <- struct{}{} }()
 			for {
 				select {
 				case <-stop:
-					fullCh <- full
 					return
 				default:
 				}
 				if err := ep.Send([]byte("spam")); err != nil {
 					if !errors.Is(err, ErrMailboxFull) && !errors.Is(err, ErrPoolEmpty) {
 						t.Errorf("unexpected send error: %v", err)
-						fullCh <- full
 						return
 					}
-					full++
+					full.Add(1)
 				}
 			}
 		}(ep)
 	}
 
 	deadline := time.Now().Add(10 * time.Second)
-	for len(rt.FailedActors()) == 0 || bystanderRuns.Load() < 1000 {
+	for len(rt.FailedActors()) == 0 || bystanderRuns.Load() < 1000 || full.Load() == 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("park or bystander progress missing: failed=%v bystander=%d",
-				rt.FailedActors(), bystanderRuns.Load())
+			t.Fatalf("park, bystander progress or full mailbox missing: failed=%v bystander=%d full=%d",
+				rt.FailedActors(), bystanderRuns.Load(), full.Load())
 		}
 		time.Sleep(time.Millisecond)
 	}
 	close(stop)
-	full := <-fullCh
-	full += <-fullCh
+	<-done
+	<-done
 
 	if got := crashes.Load(); got != 1 {
 		t.Fatalf("victim ran %d times, want exactly 1", got)
-	}
-	if full == 0 {
-		t.Fatal("producers never saw ErrMailboxFull against a parked 4-slot mailbox")
 	}
 }

@@ -80,15 +80,18 @@ func (w *Worker) Actors() []string {
 func (w *Worker) invoke(a *actorInstance) {
 	defer func() {
 		if r := recover(); r != nil {
-			// The failure text must be in place before the flag flips:
-			// the atomic store releases it, so any reader that observes
-			// failed==true (ActorFailure, report.go) sees the complete
-			// string rather than a torn/empty one. The flight-recorder
-			// dump rides the same release: it is captured — including
-			// the park event itself — before the store, so the post-
-			// mortem (ActorFlightDump) shows what the worker did right
-			// up to the panic.
-			a.failure = fmt.Sprintf("%v", r)
+			// The failure text must be in place before the flag flips,
+			// so any reader that observes failed==true (ActorFailure,
+			// report.go) sees this park's message. It is an atomic
+			// pointer in its own right because supervised restarts let
+			// the worker re-park and overwrite it while a reader still
+			// holds failed==true from an earlier park. The
+			// flight-recorder dump follows the same discipline: it is
+			// captured — including the park event itself — before the
+			// flag flips, so the post-mortem (ActorFlightDump) shows
+			// what the worker did right up to the panic.
+			msg := fmt.Sprintf("%v", r)
+			a.failure.Store(&msg)
 			if w.m != nil {
 				w.m.parks.Inc(w.id)
 				w.rec.Record(telemetry.EvPark, a.tag, 0)
@@ -102,6 +105,9 @@ func (w *Worker) invoke(a *actorInstance) {
 				delay := a.spec.Restart.backoff(a.restarts.Load())
 				a.restartAt.Store(time.Now().Add(delay).UnixNano())
 			}
+			// New park, new generation: published before the flag so a
+			// RestartActor that sees failed==true targets this park.
+			a.parkGen.Add(1)
 			a.failed.Store(true)
 			w.rt.actorFailed(a.spec.Name)
 		}
@@ -129,7 +135,7 @@ func (w *Worker) invoke(a *actorInstance) {
 // performed now: either its backoff deadline passed or the SUPERVISOR
 // forced it.
 func (w *Worker) restartDue(a *actorInstance) bool {
-	if a.forceRestart.Load() {
+	if a.forcePending() {
 		return true
 	}
 	due := a.restartAt.Load()
@@ -142,7 +148,7 @@ func (w *Worker) restartDue(a *actorInstance) bool {
 // the actor's enclave. It returns false when a Reinit failure re-parked
 // the actor.
 func (w *Worker) restart(a *actorInstance) bool {
-	a.forceRestart.Store(false)
+	a.forceGen.Store(0)
 	a.restartAt.Store(0)
 	if a.spec.Restart.FlushMailbox {
 		for _, ep := range a.endpoints {
@@ -160,7 +166,8 @@ func (w *Worker) restart(a *actorInstance) bool {
 			// A failing constructor is another failure: count it and
 			// re-park with the next backoff step (or permanently once
 			// the policy is exhausted).
-			a.failure = fmt.Sprintf("reinit: %v", err)
+			msg := fmt.Sprintf("reinit: %v", err)
+			a.failure.Store(&msg)
 			n := a.restarts.Add(1)
 			if !a.spec.Restart.exhausted(n) {
 				a.restartAt.Store(time.Now().Add(a.spec.Restart.backoff(n)).UnixNano())
@@ -180,12 +187,18 @@ func (w *Worker) restart(a *actorInstance) bool {
 
 // nextRestartDelay returns the time until the earliest pending restart
 // of this worker's actors, so the idle wait never sleeps through a
-// backoff deadline.
+// backoff deadline. A manual override is due immediately — it may be
+// the only pending restart (restartAt==0 for zero-policy actors), and
+// idleWait has already drained the doorbell by the time it asks, so
+// RestartActor's Wake alone cannot be relied on to cut the sleep short.
 func (w *Worker) nextRestartDelay() (time.Duration, bool) {
 	var earliest int64
 	for _, a := range w.actors {
 		if !a.failed.Load() {
 			continue
+		}
+		if a.forcePending() {
+			return 0, true
 		}
 		due := a.restartAt.Load()
 		if due == 0 {
