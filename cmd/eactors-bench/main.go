@@ -1,7 +1,8 @@
 // Command eactors-bench regenerates the paper's evaluation figures
-// (Figure 1 and Figures 11-17). Each figure has a sweep matching the
-// paper's parameters; -scale shrinks iteration counts and windows for
-// quick runs on small machines.
+// (Figure 1 and Figures 11-17) plus the KV shard-scaling figure
+// (-fig kv). Each figure has a sweep matching the paper's parameters;
+// -scale shrinks iteration counts and windows for quick runs on small
+// machines.
 //
 // Usage:
 //
@@ -30,7 +31,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("eactors-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "", "figure to reproduce: 1, 11, 12, 13, 14, 15, 16, 17")
+	fig := fs.String("fig", "", "figure to reproduce: 1, 11, 12, 13, 14, 15, 16, 17, kv")
 	all := fs.Bool("all", false, "run every figure")
 	scale := fs.Float64("scale", 1.0, "scale iteration counts and measure windows (1.0 = paper scale)")
 	measure := fs.Duration("measure", 0, "override the steady-state measure window of the messaging figures")
@@ -56,7 +57,7 @@ func run(args []string) error {
 
 	figures := []string{*fig}
 	if *all {
-		figures = []string{"1", "11", "12", "13", "14", "15", "16", "17"}
+		figures = []string{"1", "11", "12", "13", "14", "15", "16", "17", "kv"}
 	}
 
 	fmt.Fprintf(os.Stderr, "eactors-bench: GOMAXPROCS=%d scale=%g\n", runtime.GOMAXPROCS(0), *scale)
@@ -156,6 +157,11 @@ func runFigure(fig string, scale float64) ([]bench.Row, error) {
 		cfg.Clients = scaleInt(cfg.Clients, scale, 8)
 		cfg.Measure = measureWindow(scaleDur(cfg.Measure, scale, time.Second))
 		return bench.Fig17TrustedOverhead(cfg)
+	case "kv":
+		cfg := bench.DefaultFigKV()
+		cfg.Keys = scaleInt(cfg.Keys, scale, 256)
+		cfg.Measure = measureWindow(scaleDur(cfg.Measure, scale, time.Second))
+		return bench.FigKVShardScaling(cfg)
 	default:
 		return nil, fmt.Errorf("unknown figure %q", fig)
 	}

@@ -1,0 +1,131 @@
+// Command kvload drives the KV protocol against a kvserver and reports
+// throughput plus latency percentiles — the shard-scaling measurement
+// driver behind the EXPERIMENTS.md table.
+//
+// Usage:
+//
+//	kvload -server 127.0.0.1:6380 -clients 8 -duration 10s -get-ratio 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/kv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvload:", err)
+		os.Exit(1)
+	}
+}
+
+// latencyRecorder collects request latencies for percentile reporting.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (r *latencyRecorder) record(d time.Duration) {
+	r.mu.Lock()
+	if len(r.samples) < 1_000_000 {
+		r.samples = append(r.samples, d)
+	}
+	r.mu.Unlock()
+}
+
+func (r *latencyRecorder) percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+func run() error {
+	server := flag.String("server", "", "server address (required)")
+	clients := flag.Int("clients", 8, "concurrent client connections")
+	duration := flag.Duration("duration", 10*time.Second, "measure window")
+	warmup := flag.Duration("warmup", time.Second, "warmup before measuring")
+	keys := flag.Int("keys", 10_000, "key-space size")
+	valueSize := flag.Int("value", 128, "value bytes")
+	getRatio := flag.Float64("get-ratio", 0.9, "fraction of operations that are GETs (rest split SET/DEL 9:1)")
+	seed := flag.Int64("seed", 1, "workload PRNG seed")
+	flag.Parse()
+	if *server == "" {
+		return fmt.Errorf("-server is required")
+	}
+
+	var ops, errs atomic.Uint64
+	rec := &latencyRecorder{}
+	var measuring atomic.Bool
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := kv.Dial(*server, 5*time.Second)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			value := make([]byte, *valueSize)
+			rng.Read(value)
+			key := make([]byte, 0, 24)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key = append(key[:0], []byte(fmt.Sprintf("key-%d", rng.Intn(*keys)))...)
+				start := time.Now()
+				var err error
+				switch r := rng.Float64(); {
+				case r < *getRatio:
+					_, _, err = c.Get(key)
+				case r < *getRatio+(1-*getRatio)*0.9:
+					err = c.Set(key, value)
+				default:
+					_, err = c.Del(key)
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if measuring.Load() {
+					ops.Add(1)
+					rec.record(time.Since(start))
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(*warmup)
+	measuring.Store(true)
+	time.Sleep(*duration)
+	measuring.Store(false)
+	close(stop)
+	wg.Wait()
+
+	total := ops.Load()
+	fmt.Printf("kvload: %d ops in %s = %.0f ops/s (%d errors)\n",
+		total, *duration, float64(total)/duration.Seconds(), errs.Load())
+	fmt.Printf("kvload: latency p50=%s p95=%s p99=%s\n",
+		rec.percentile(0.50), rec.percentile(0.95), rec.percentile(0.99))
+	return nil
+}

@@ -186,6 +186,28 @@ func TestFig17Small(t *testing.T) {
 	}
 }
 
+func TestFigKVSmall(t *testing.T) {
+	rows, err := FigKVShardScaling(FigKVConfig{
+		Shards:     []int{1, 2},
+		Clients:    []int{4},
+		Keys:       256,
+		ValueBytes: 64,
+		GetRatio:   0.9,
+		Trusted:    true,
+		Warmup:     300 * time.Millisecond,
+		Measure:    time.Second,
+	})
+	if err != nil {
+		t.Fatalf("FigKVShardScaling: %v", err)
+	}
+	for _, series := range []string{"shards=1", "shards=2"} {
+		v, ok := SeriesValue(rows, "figkv", series, 4)
+		if !ok || v <= 0 {
+			t.Errorf("series %s: throughput %v", series, v)
+		}
+	}
+}
+
 func TestPrintTable(t *testing.T) {
 	rows := []Row{
 		{Figure: "figX", Series: "A", XLabel: "n", X: 1, Value: 10, Unit: "req/s"},

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/kv"
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/telemetry"
+)
+
+// FigKVConfig parameterises the KV shard-scaling sweep (figkv): the
+// networked secure key-value service measured end to end — TCP clients
+// through the untrusted FRONTEND into the enclaved KVSTORE pipeline and
+// the sharded, cached POS behind it. One series per shard count, x =
+// concurrent clients, so the figure shows where affinity-routed shards
+// stop helping for a given offered load.
+type FigKVConfig struct {
+	Shards     []int
+	Clients    []int
+	Keys       int
+	ValueBytes int
+	// GetRatio is the GET fraction; the remainder splits SET/DEL 9:1,
+	// matching cmd/kvload's default mix.
+	GetRatio float64
+	Trusted  bool
+	Warmup   time.Duration
+	Measure  time.Duration
+}
+
+// DefaultFigKV is the paper-style sweep: trusted deployment, encrypted
+// store, GET-heavy mix.
+func DefaultFigKV() FigKVConfig {
+	return FigKVConfig{
+		Shards:     []int{1, 2, 4, 8},
+		Clients:    []int{2, 4, 8, 16},
+		Keys:       4096,
+		ValueBytes: 128,
+		GetRatio:   0.9,
+		Trusted:    true,
+		Warmup:     time.Second,
+		Measure:    5 * time.Second,
+	}
+}
+
+// FigKVShardScaling measures service throughput for every (shards,
+// clients) point.
+func FigKVShardScaling(cfg FigKVConfig) ([]Row, error) {
+	var rows []Row
+	for _, shards := range cfg.Shards {
+		for _, clients := range cfg.Clients {
+			thr, err := runKVPoint(cfg, shards, clients)
+			if err != nil {
+				return nil, fmt.Errorf("bench: figkv shards=%d clients=%d: %w", shards, clients, err)
+			}
+			rows = append(rows, Row{
+				Figure: "figkv", Series: fmt.Sprintf("shards=%d", shards),
+				XLabel: "clients", X: float64(clients),
+				Value: thr, Unit: "op/s",
+			})
+		}
+	}
+	return rows, nil
+}
+
+// runKVPoint starts one deployment, preloads the key space and drives
+// it with closed-loop clients for the measure window.
+func runKVPoint(cfg FigKVConfig, shards, clients int) (float64, error) {
+	var key [ecrypto.KeySize]byte
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	srv, err := kv.Start(kv.Options{
+		Shards:        shards,
+		Trusted:       cfg.Trusted,
+		Platform:      sgx.NewPlatform(),
+		EncryptionKey: &key,
+		StoreSize:     4 << 20,
+		Telemetry:     Telemetry || MetricsAddr != "",
+	})
+	if err != nil {
+		return 0, err
+	}
+	stop := srv.Stop
+	if MetricsAddr != "" {
+		if bound, stopHTTP, err := telemetry.Serve(MetricsAddr, srv.Telemetry()); err == nil {
+			fmt.Printf("bench: figkv shards=%d metrics on http://%s/metrics\n", shards, bound)
+			stop = func() { stopHTTP(); srv.Stop() }
+		}
+	}
+	defer stop()
+
+	value := randomPayload(cfg.ValueBytes)
+	loader, err := kv.Dial(srv.Addr(), 30*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		if err := loader.Set(kvBenchKeyName(i), value); err != nil {
+			_ = loader.Close()
+			return 0, fmt.Errorf("preload key %d: %w", i, err)
+		}
+	}
+	_ = loader.Close()
+
+	var ops atomic.Uint64
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		conn, err := kv.Dial(srv.Addr(), 30*time.Second)
+		if err != nil {
+			close(stopCh)
+			wg.Wait()
+			return 0, fmt.Errorf("dial client %d: %w", c, err)
+		}
+		wg.Add(1)
+		go func(idx int, conn *kv.Client) {
+			defer wg.Done()
+			defer conn.Close()
+			rng := uint32(idx*2654435761 + 12345)
+			for {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				rng = rng*1664525 + 1013904223
+				k := kvBenchKeyName(int(rng>>8) % cfg.Keys)
+				r := float64(rng%10000) / 10000
+				var err error
+				switch {
+				case r < cfg.GetRatio:
+					_, _, err = conn.Get(k)
+				case r < cfg.GetRatio+(1-cfg.GetRatio)*0.9:
+					err = conn.Set(k, value)
+				default:
+					_, err = conn.Del(k)
+				}
+				if err != nil {
+					continue // timeout: the client resends (at-least-once)
+				}
+				ops.Add(1)
+			}
+		}(c, conn)
+	}
+
+	time.Sleep(cfg.Warmup)
+	base := ops.Load()
+	time.Sleep(cfg.Measure)
+	delta := ops.Load() - base
+	close(stopCh)
+	wg.Wait()
+	return float64(delta) / cfg.Measure.Seconds(), nil
+}
+
+// kvBenchKeyName builds the i-th workload key.
+func kvBenchKeyName(i int) []byte {
+	return []byte(fmt.Sprintf("key-%d", i))
+}

@@ -69,6 +69,25 @@ func TestChaosXMPP(t *testing.T) {
 	}
 }
 
+// TestChaosKV runs the trusted, encrypted KV service under the chaos
+// schedule: every confirmed operation must agree with a model map, and
+// the injected sync failures must actually have exercised the sharded
+// store's keep-dirty-and-retry flush path.
+func TestChaosKV(t *testing.T) {
+	for _, seed := range seeds() {
+		res, err := RunKV(seed, 60, 30*time.Second)
+		if err != nil {
+			t.Fatalf("%v\nreproduce with: %s", err, ReproCommand("TestChaosKV", seed))
+		}
+		requireClasses(t, "TestChaosKV", res, 3)
+		if res.ByClass["sync-fail"] == 0 {
+			t.Fatalf("seed %d: no POS sync failures injected (%v)\nreproduce with: %s",
+				res.Seed, res.ByClass, ReproCommand("TestChaosKV", res.Seed))
+		}
+		t.Logf("seed %d: %d ops, %d faults injected: %v", seed, res.Rounds, res.Injected, res.ByClass)
+	}
+}
+
 // TestChaosScheduleDeterministic pins the core reproducibility claim:
 // two injectors built from the same seed produce identical per-site
 // fault schedules, and a different seed produces a different one.

@@ -1,0 +1,385 @@
+package kv
+
+import (
+	"time"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/netactors"
+	"github.com/eactors/eactors-go/internal/pos"
+)
+
+// maxPendingFrames bounds each retry queue before frames are dropped
+// (slow-receiver protection; clients retry at the protocol layer).
+const maxPendingFrames = 4096
+
+// stageFlushBatch caps an outbound stage before a mid-round flush.
+const stageFlushBatch = 64
+
+// maxBufferedStream bounds per-socket reassembly: a peer that streams
+// bytes without ever completing a frame is cut off.
+const maxBufferedStream = 1 << 20
+
+// controlDeadline bounds SendRetry on control sends (watches, closes):
+// losing one wedges or leaks a socket, so they persist through
+// transient channel fullness.
+func controlDeadline() time.Time { return time.Now().Add(50 * time.Millisecond) }
+
+// frontendState is the FRONTEND eactor's private state.
+type frontendState struct {
+	phase     int
+	listener  uint32
+	socks     map[uint32]*ReqScanner
+	scratch   []byte
+	recvBufs  [][]byte
+	recvLens  []int
+	acceptBuf []byte
+	// stages/pending batch the routed requests per KVSTORE shard: one
+	// SendBatch per shard per round, pending spill under backpressure.
+	stages  []core.SendStage
+	pending [][][]byte
+}
+
+const (
+	fphListen = iota
+	fphAwaitListener
+	fphServe
+)
+
+// frontendSpec builds the FRONTEND eactor: it owns the listener, the
+// per-socket stream reassembly, and the key-affinity routing into the
+// KVSTORE shards. It runs untrusted — request plaintext crosses it the
+// same way it crossed the kernel's socket buffers — and the req
+// channels re-protect everything at the first enclave boundary.
+func (srv *Server) frontendSpec(opts Options, worker, shards int, addrCh chan<- string) core.Spec {
+	nodePayload := opts.NodePayload
+	if nodePayload <= 0 {
+		nodePayload = core.DefaultNodePayload
+	}
+	maxForward := netactors.MaxData(nodePayload)
+	st := &frontendState{
+		socks:     make(map[uint32]*ReqScanner),
+		acceptBuf: make([]byte, 4096),
+		stages:    make([]core.SendStage, shards),
+		pending:   make([][][]byte, shards),
+	}
+	st.recvBufs, st.recvLens = core.BatchBufs(opts.MaxBatch, nodePayload)
+	var open, accept, read, closeCh *core.Endpoint
+	reqChans := make([]*core.Endpoint, shards)
+	return core.Spec{
+		Name:   "frontend",
+		Worker: worker,
+		State:  st,
+		Init: func(self *core.Self) error {
+			open = self.MustChannel("open")
+			accept = self.MustChannel("accept")
+			read = self.MustChannel("read")
+			closeCh = self.MustChannel("close")
+			for i := 0; i < shards; i++ {
+				reqChans[i] = self.MustChannel(reqChannel(i))
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			switch st.phase {
+			case fphListen:
+				m, _ := (netactors.Msg{Type: netactors.MsgListen, Data: []byte(opts.ListenAddr)}).AppendTo(st.scratch[:0])
+				st.scratch = m
+				if open.Send(m) == nil {
+					st.phase = fphAwaitListener
+					self.Progress()
+				}
+			case fphAwaitListener:
+				if st.listener == 0 {
+					n, ok, err := open.Recv(st.acceptBuf)
+					if err != nil || !ok {
+						return
+					}
+					msg, err := netactors.ParseMsg(st.acceptBuf[:n])
+					if err != nil || msg.Type != netactors.MsgOpenOK {
+						return
+					}
+					st.listener = msg.Sock
+					addrCh <- string(msg.Data)
+				}
+				// Re-enterable until the watch lands: an unwatched
+				// listener accepts nobody.
+				w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: st.listener}).AppendTo(st.scratch[:0])
+				st.scratch = w
+				if accept.SendRetry(w, controlDeadline()) == nil {
+					st.phase = fphServe
+					self.Progress()
+				}
+			case fphServe:
+				srv.frontendServe(self, st, accept, read, closeCh, reqChans, shards, maxForward)
+			}
+		},
+	}
+}
+
+// frontendServe is one serve-phase invocation.
+func (srv *Server) frontendServe(self *core.Self, st *frontendState,
+	accept, read, closeCh *core.Endpoint, reqChans []*core.Endpoint, shards, maxForward int) {
+
+	// Frames that hit a full req channel last round go first, in FIFO
+	// order, so per-socket request order survives backpressure.
+	for i := range st.pending {
+		if len(st.pending[i]) == 0 {
+			continue
+		}
+		n, _ := reqChans[i].SendBatch(st.pending[i]) //sendcheck:ok
+		if n > 0 {
+			self.Progress()
+			st.pending[i] = st.pending[i][n:]
+			if len(st.pending[i]) == 0 {
+				st.pending[i] = nil
+			}
+		}
+	}
+
+	// New connections: watch their bytes.
+	for {
+		n, ok, err := accept.Recv(st.acceptBuf)
+		if err != nil || !ok {
+			break
+		}
+		msg, err := netactors.ParseMsg(st.acceptBuf[:n])
+		if err != nil || msg.Type != netactors.MsgAccepted {
+			continue
+		}
+		st.socks[msg.Sock] = &ReqScanner{}
+		w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: msg.Sock}).AppendTo(st.scratch[:0])
+		st.scratch = w
+		// An unwatched socket never produces bytes; persist the watch.
+		_ = read.SendRetry(w, controlDeadline()) //sendcheck:ok
+		self.Progress()
+	}
+
+	// Inbound stream chunks, one batched drain.
+	n, _ := self.RecvBatch(read, st.recvBufs, st.recvLens)
+	for i := 0; i < n; i++ {
+		msg, err := netactors.ParseMsg(st.recvBufs[i][:st.recvLens[i]])
+		if err != nil {
+			continue
+		}
+		switch msg.Type {
+		case netactors.MsgClosed:
+			delete(st.socks, msg.Sock)
+		case netactors.MsgData:
+			sc, ok := st.socks[msg.Sock]
+			if !ok {
+				continue
+			}
+			sc.Feed(msg.Data)
+			srv.frontendRoute(self, st, sc, msg.Sock, closeCh, reqChans, shards, maxForward)
+		}
+	}
+	for i := range st.stages {
+		srv.flushStage(st, i, reqChans[i])
+	}
+}
+
+// frontendRoute forwards every complete request a socket has buffered
+// to the KVSTORE shard owning its key.
+func (srv *Server) frontendRoute(self *core.Self, st *frontendState, sc *ReqScanner,
+	sock uint32, closeCh *core.Endpoint, reqChans []*core.Endpoint, shards, maxForward int) {
+
+	drop := func() {
+		delete(st.socks, sock)
+		c, _ := (netactors.Msg{Type: netactors.MsgClose, Sock: sock}).AppendTo(nil)
+		// A lost close leaks the socket; persist it.
+		_ = closeCh.SendRetry(c, controlDeadline()) //sendcheck:ok
+	}
+	for {
+		req, raw, ok, err := sc.NextFrame()
+		if err != nil || sc.Buffered() > maxBufferedStream {
+			drop() // lost framing or unbounded partial frame: cut the peer off
+			return
+		}
+		if !ok {
+			return
+		}
+		if len(raw) > maxForward {
+			drop() // cannot cross the channel in one node
+			return
+		}
+		self.Progress()
+		shard := pos.ShardOf(req.Key, shards)
+		m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: raw}).AppendTo(st.stages[shard].Slot())
+		if err != nil {
+			continue
+		}
+		st.stages[shard].Push(m)
+		if st.stages[shard].Len() >= stageFlushBatch {
+			srv.flushStage(st, shard, reqChans[shard])
+		}
+	}
+}
+
+// flushStage sends shard i's staged frames as one batch; under
+// backpressure the remainder spills to the bounded pending queue (the
+// stage's slots are reused next round, so spilled frames get copies).
+func (srv *Server) flushStage(st *frontendState, i int, ep *core.Endpoint) {
+	if st.stages[i].Len() == 0 {
+		return
+	}
+	sent := 0
+	if len(st.pending[i]) == 0 {
+		sent, _ = ep.SendBatch(st.stages[i].Frames()) //sendcheck:ok
+	}
+	for _, f := range st.stages[i].Frames()[sent:] {
+		if len(st.pending[i]) >= maxPendingFrames {
+			break // slow-receiver protection: shed, clients retry
+		}
+		st.pending[i] = append(st.pending[i], append([]byte(nil), f...))
+	}
+	st.stages[i].Reset()
+}
+
+func reqChannel(i int) string   { return "req-" + itoa(i) }
+func writeChannel(i int) string { return "write-" + itoa(i) }
+
+// itoa avoids fmt on the hot path helpers (tiny shard counts only).
+func itoa(i int) string {
+	if i < 10 {
+		return string([]byte{'0' + byte(i)})
+	}
+	return itoa(i/10) + itoa(i%10)
+}
+
+// storeState is one KVSTORE eactor's private state.
+type storeState struct {
+	recvBufs [][]byte
+	recvLens []int
+	respBuf  []byte
+	stage    core.SendStage
+	pending  [][]byte
+}
+
+// storeSpec builds KVSTORE eactor i: it executes the requests routed to
+// it on the shared sharded store (key affinity means it only ever
+// touches POS shard i, so the KVSTOREs scale without lock contention)
+// and stages the responses back to the WRITER in one batch per round.
+func (srv *Server) storeSpec(opts Options, i, worker int, enclave string) core.Spec {
+	nodePayload := opts.NodePayload
+	if nodePayload <= 0 {
+		nodePayload = core.DefaultNodePayload
+	}
+	st := &storeState{}
+	st.recvBufs, st.recvLens = core.BatchBufs(opts.MaxBatch, nodePayload)
+	syncPerBurst := opts.FlushInterval < 0
+	var req, write *core.Endpoint
+	return core.Spec{
+		Name:    storeName(i),
+		Enclave: enclave,
+		Worker:  worker,
+		State:   st,
+		Init: func(self *core.Self) error {
+			req = self.MustChannel(reqChannel(i))
+			write = self.MustChannel(writeChannel(i))
+			return nil
+		},
+		Body: func(self *core.Self) {
+			if len(st.pending) > 0 {
+				n, _ := write.SendBatch(st.pending) //sendcheck:ok
+				if n > 0 {
+					self.Progress()
+					st.pending = st.pending[n:]
+					if len(st.pending) == 0 {
+						st.pending = nil
+					}
+				}
+			}
+			n, _ := self.RecvBatch(req, st.recvBufs, st.recvLens)
+			for j := 0; j < n; j++ {
+				msg, err := netactors.ParseMsg(st.recvBufs[j][:st.recvLens[j]])
+				if err != nil || msg.Type != netactors.MsgData {
+					continue
+				}
+				request, _, err := ParseRequest(msg.Data)
+				if err != nil {
+					continue
+				}
+				self.Progress()
+				resp := srv.execute(request)
+				buf, err := resp.AppendTo(st.respBuf[:0])
+				if err != nil {
+					continue
+				}
+				st.respBuf = buf
+				m, err := (netactors.Msg{Type: netactors.MsgData, Sock: msg.Sock, Data: buf}).AppendTo(st.stage.Slot())
+				if err != nil {
+					continue
+				}
+				st.stage.Push(m)
+				if st.stage.Len() >= stageFlushBatch {
+					srv.flushWrites(st, write)
+				}
+			}
+			if n > 0 && syncPerBurst {
+				// Per-burst write-back: one batched Sync amortised over
+				// the whole drained burst.
+				_ = srv.store.Flush()
+			}
+			srv.flushWrites(st, write)
+		},
+	}
+}
+
+// flushWrites sends the staged responses as one batch, spilling the
+// remainder to the bounded pending queue under backpressure.
+func (srv *Server) flushWrites(st *storeState, write *core.Endpoint) {
+	if st.stage.Len() == 0 {
+		return
+	}
+	sent := 0
+	if len(st.pending) == 0 {
+		sent, _ = write.SendBatch(st.stage.Frames()) //sendcheck:ok
+	}
+	for _, f := range st.stage.Frames()[sent:] {
+		if len(st.pending) >= maxPendingFrames {
+			break
+		}
+		st.pending = append(st.pending, append([]byte(nil), f...))
+	}
+	st.stage.Reset()
+}
+
+// execute runs one request against the sharded store.
+func (srv *Server) execute(req Request) Response {
+	switch req.Op {
+	case OpGet:
+		srv.gets.Add(1)
+		val, ok, err := srv.store.Get(req.Key)
+		if err != nil {
+			srv.errs.Add(1)
+			return Response{Status: StatusErr, ID: req.ID, Val: []byte(err.Error())}
+		}
+		if !ok {
+			srv.notFound.Add(1)
+			return Response{Status: StatusNotFound, ID: req.ID}
+		}
+		return Response{Status: StatusValue, ID: req.ID, Val: val}
+	case OpSet:
+		srv.sets.Add(1)
+		if err := srv.store.Set(req.Key, req.Val); err != nil {
+			srv.errs.Add(1)
+			return Response{Status: StatusErr, ID: req.ID, Val: []byte(err.Error())}
+		}
+		return Response{Status: StatusOK, ID: req.ID}
+	case OpDel:
+		srv.dels.Add(1)
+		found, err := srv.store.Delete(req.Key)
+		if err != nil {
+			srv.errs.Add(1)
+			return Response{Status: StatusErr, ID: req.ID, Val: []byte(err.Error())}
+		}
+		if !found {
+			srv.notFound.Add(1)
+			return Response{Status: StatusNotFound, ID: req.ID}
+		}
+		return Response{Status: StatusOK, ID: req.ID}
+	default:
+		srv.errs.Add(1)
+		return Response{Status: StatusErr, ID: req.ID, Val: []byte("kv: unknown op")}
+	}
+}

@@ -1,0 +1,131 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrTimeout reports that a response did not arrive within the client's
+// deadline. The operation may or may not have executed — the protocol
+// is at-least-once, and SET/DEL are idempotent, so callers retry.
+var ErrTimeout = errors.New("kv: request timed out")
+
+// Client is a synchronous KV protocol client over one TCP connection.
+// It is not safe for concurrent use; open one client per goroutine.
+type Client struct {
+	conn    net.Conn
+	scanner RespScanner
+	nextID  uint32
+	timeout time.Duration
+	scratch []byte
+	readBuf []byte
+}
+
+// Dial connects to a KV server. timeout bounds each call (0 means
+// 5 seconds).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, timeout: timeout, readBuf: make([]byte, 64*1024)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Get looks key up; ok is false when the key is absent.
+func (c *Client) Get(key []byte) (val []byte, ok bool, err error) {
+	resp, err := c.call(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Status {
+	case StatusValue:
+		return append([]byte(nil), resp.Val...), true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("kv: server error: %s", resp.Val)
+	}
+}
+
+// Set stores key → val.
+func (c *Client) Set(key, val []byte) error {
+	resp, err := c.call(Request{Op: OpSet, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kv: server error: %s", resp.Val)
+	}
+	return nil
+}
+
+// Del removes key; found reports whether it existed.
+func (c *Client) Del(key []byte) (found bool, err error) {
+	resp, err := c.call(Request{Op: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("kv: server error: %s", resp.Val)
+	}
+}
+
+// call sends one request and waits for its response, skipping stale
+// responses left over from timed-out predecessors.
+func (c *Client) call(req Request) (Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	frame, err := req.AppendTo(c.scratch[:0])
+	if err != nil {
+		return Response{}, err
+	}
+	c.scratch = frame
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetWriteDeadline(deadline); err != nil {
+		return Response{}, err
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return Response{}, err
+	}
+	for {
+		// A predecessor's late response may already be buffered.
+		for {
+			resp, ok := c.scanner.Next()
+			if !ok {
+				break
+			}
+			if resp.ID == req.ID {
+				return resp, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return Response{}, ErrTimeout
+		}
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return Response{}, err
+		}
+		n, err := c.conn.Read(c.readBuf)
+		if n > 0 {
+			c.scanner.Feed(c.readBuf[:n])
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return Response{}, ErrTimeout
+			}
+			return Response{}, err
+		}
+	}
+}

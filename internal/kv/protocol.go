@@ -1,0 +1,211 @@
+// Package kv is the networked secure key-value service: the paper's
+// Persistent Object Store (Section 4.1) opened to the network through
+// the system eactors of Section 4.2. Clients speak a small binary
+// protocol over TCP; an untrusted FRONTEND eactor reassembles request
+// frames and routes each one by key affinity to the KVSTORE eactor
+// owning that key's POS shard, so requests for different shards execute
+// in parallel and never contend on one store lock. When the deployment
+// is trusted, the KVSTORE eactors run inside enclaves, the routing
+// channels encrypt automatically at the enclave boundary, and the
+// sharded store seals every record at rest.
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op discriminates client requests.
+type Op uint8
+
+// Request operations.
+const (
+	// OpGet looks a key up; answered by StatusValue or StatusNotFound.
+	OpGet Op = iota + 1
+	// OpSet stores a key/value pair; answered by StatusOK.
+	OpSet
+	// OpDel removes a key; answered by StatusOK (existed) or
+	// StatusNotFound.
+	OpDel
+)
+
+// Status discriminates server responses.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusValue carries a found value.
+	StatusValue Status = iota + 1
+	// StatusNotFound reports a missing key.
+	StatusNotFound
+	// StatusOK acknowledges a write.
+	StatusOK
+	// StatusErr reports a failed operation; Val is the error text.
+	StatusErr
+)
+
+const (
+	reqHeader  = 1 + 4 + 2 + 2 // op + id + keyLen + valLen
+	respHeader = 1 + 4 + 2     // status + id + valLen
+)
+
+// MaxKey and MaxVal bound single-frame keys and values.
+const (
+	MaxKey = 0xFFFF
+	MaxVal = 0xFFFF
+)
+
+// ErrShortFrame reports a truncated encoding.
+var ErrShortFrame = errors.New("kv: short frame")
+
+// Request is one client operation.
+type Request struct {
+	Op  Op
+	ID  uint32
+	Key []byte
+	Val []byte
+}
+
+// Response is one server answer; ID echoes the request.
+type Response struct {
+	Status Status
+	ID     uint32
+	Val    []byte
+}
+
+// AppendTo encodes r at the end of buf.
+func (r Request) AppendTo(buf []byte) ([]byte, error) {
+	if len(r.Key) > MaxKey || len(r.Val) > MaxVal {
+		return nil, fmt.Errorf("kv: request key %d / val %d exceeds frame limit", len(r.Key), len(r.Val))
+	}
+	var hdr [reqHeader]byte
+	hdr[0] = byte(r.Op)
+	binary.LittleEndian.PutUint32(hdr[1:], r.ID)
+	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(r.Key)))
+	binary.LittleEndian.PutUint16(hdr[7:], uint16(len(r.Val)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, r.Key...)
+	return append(buf, r.Val...), nil
+}
+
+// ParseRequest decodes one request; Key and Val alias b. The returned
+// length is the number of bytes consumed.
+func ParseRequest(b []byte) (Request, int, error) {
+	if len(b) < reqHeader {
+		return Request{}, 0, ErrShortFrame
+	}
+	k := int(binary.LittleEndian.Uint16(b[5:]))
+	v := int(binary.LittleEndian.Uint16(b[7:]))
+	total := reqHeader + k + v
+	if len(b) < total {
+		return Request{}, 0, ErrShortFrame
+	}
+	return Request{
+		Op:  Op(b[0]),
+		ID:  binary.LittleEndian.Uint32(b[1:]),
+		Key: b[reqHeader : reqHeader+k],
+		Val: b[reqHeader+k : total],
+	}, total, nil
+}
+
+// AppendTo encodes r at the end of buf.
+func (r Response) AppendTo(buf []byte) ([]byte, error) {
+	if len(r.Val) > MaxVal {
+		return nil, fmt.Errorf("kv: response val %d exceeds frame limit", len(r.Val))
+	}
+	var hdr [respHeader]byte
+	hdr[0] = byte(r.Status)
+	binary.LittleEndian.PutUint32(hdr[1:], r.ID)
+	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(r.Val)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, r.Val...), nil
+}
+
+// ParseResponse decodes one response; Val aliases b. The returned
+// length is the number of bytes consumed.
+func ParseResponse(b []byte) (Response, int, error) {
+	if len(b) < respHeader {
+		return Response{}, 0, ErrShortFrame
+	}
+	v := int(binary.LittleEndian.Uint16(b[5:]))
+	total := respHeader + v
+	if len(b) < total {
+		return Response{}, 0, ErrShortFrame
+	}
+	return Response{
+		Status: Status(b[0]),
+		ID:     binary.LittleEndian.Uint32(b[1:]),
+		Val:    b[respHeader : respHeader+v],
+	}, total, nil
+}
+
+// ReqScanner reassembles requests from a TCP byte stream: frames arrive
+// split and coalesced arbitrarily, so the FRONTEND buffers partial
+// frames per socket and yields only complete requests.
+type ReqScanner struct {
+	buf []byte
+}
+
+// Feed appends stream bytes to the scanner.
+func (s *ReqScanner) Feed(b []byte) { s.buf = append(s.buf, b...) }
+
+// Next returns the next complete request, or ok=false when the buffer
+// holds only a partial frame. Key/Val alias the internal buffer and are
+// valid until the next Feed.
+func (s *ReqScanner) Next() (Request, bool) {
+	req, n, err := ParseRequest(s.buf)
+	if err != nil {
+		return Request{}, false
+	}
+	s.buf = s.buf[n:]
+	if len(s.buf) == 0 {
+		s.buf = nil // let large bursts free their backing array
+	}
+	return req, true
+}
+
+// NextFrame is Next plus the raw frame bytes, for routers that forward
+// the encoded request without rebuilding it. A frame with an unknown
+// opcode returns an error: the byte stream has lost framing (or the
+// peer is hostile) and the connection should be dropped.
+func (s *ReqScanner) NextFrame() (Request, []byte, bool, error) {
+	req, n, err := ParseRequest(s.buf)
+	if err != nil {
+		return Request{}, nil, false, nil
+	}
+	if req.Op < OpGet || req.Op > OpDel {
+		return Request{}, nil, false, fmt.Errorf("kv: unknown opcode %d", req.Op)
+	}
+	raw := s.buf[:n]
+	s.buf = s.buf[n:]
+	if len(s.buf) == 0 {
+		s.buf = nil
+	}
+	return req, raw, true, nil
+}
+
+// Buffered returns the number of unconsumed bytes.
+func (s *ReqScanner) Buffered() int { return len(s.buf) }
+
+// RespScanner reassembles responses on the client side of the stream.
+type RespScanner struct {
+	buf []byte
+}
+
+// Feed appends stream bytes to the scanner.
+func (s *RespScanner) Feed(b []byte) { s.buf = append(s.buf, b...) }
+
+// Next returns the next complete response, or ok=false when the buffer
+// holds only a partial frame. Val aliases the internal buffer.
+func (s *RespScanner) Next() (Response, bool) {
+	resp, n, err := ParseResponse(s.buf)
+	if err != nil {
+		return Response{}, false
+	}
+	s.buf = s.buf[n:]
+	if len(s.buf) == 0 {
+		s.buf = nil
+	}
+	return resp, true
+}

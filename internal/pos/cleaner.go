@@ -79,7 +79,7 @@ func (s *Store) Clean() (int, error) {
 		headOff := offBucketHeads + 8*b
 		prev := uint64(0)
 		off := binary.LittleEndian.Uint64(mem[headOff:])
-		for off != 0 {
+		for off != 0 && s.validRecordOff(off) {
 			rec := mem[off : off+uint64(s.regionSize)]
 			next := binary.LittleEndian.Uint64(rec[recNext:])
 			flags := binary.LittleEndian.Uint32(rec[recFlags:])

@@ -1,0 +1,144 @@
+package pos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// Fuzz targets for the POS encode/decode paths. They run in CI's
+// fuzz-smoke step (-fuzztime=30s) alongside the stanza fuzzers; longer
+// local runs with `go test -fuzz FuzzRecordRoundTrip ./internal/pos/`.
+
+// fuzzStore opens a small volatile store for one fuzz iteration.
+func fuzzStore(t *testing.T, encrypted bool) *Store {
+	t.Helper()
+	opts := Options{SizeBytes: 64 * 1024}
+	if encrypted {
+		key := testEncKey()
+		opts.EncryptionKey = &key
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// FuzzRecordRoundTrip feeds arbitrary key/value pairs through the
+// record encode/decode path, plaintext and encrypted: whatever Set
+// accepts, Get must return byte-identical, and whatever Set rejects
+// must be rejected with a typed error — never a panic, never silent
+// truncation.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add([]byte("key"), []byte("value"))
+	f.Add([]byte(""), []byte(""))
+	f.Add([]byte{0}, []byte{0xFF})
+	f.Add(bytes.Repeat([]byte("k"), 300), bytes.Repeat([]byte("v"), 300))
+	f.Add([]byte("dup"), []byte("first"))
+	f.Fuzz(func(t *testing.T, key, val []byte) {
+		if len(key) == 0 {
+			return // empty keys are not part of the contract
+		}
+		for _, encrypted := range []bool{false, true} {
+			s := fuzzStore(t, encrypted)
+			err := s.Set(key, val)
+			if err != nil {
+				if !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrFull) {
+					t.Fatalf("Set err = %v (encrypted=%v)", err, encrypted)
+				}
+				continue
+			}
+			got, ok, err := s.Get(key)
+			if err != nil || !ok || !bytes.Equal(got, val) {
+				t.Fatalf("Get = %q ok=%v err=%v, want %q (encrypted=%v)", got, ok, err, val, encrypted)
+			}
+			// Overwrite + delete keep the chain decodable.
+			if err := s.Set(key, append(val, 'x')); err == nil {
+				if got, ok, _ := s.Get(key); !ok || !bytes.Equal(got, append(val, 'x')) {
+					t.Fatalf("overwrite lost (encrypted=%v)", encrypted)
+				}
+			}
+			if _, err := s.Delete(key); err != nil {
+				t.Fatalf("Delete err = %v", err)
+			}
+			if _, ok, _ := s.Get(key); ok {
+				t.Fatalf("deleted key still found (encrypted=%v)", encrypted)
+			}
+		}
+	})
+}
+
+// FuzzDecodeValue corrupts stored record bytes and re-reads the store —
+// the corruption_test.go cases, generalised: a mutated region may make
+// keys disappear or reads fail, but must never panic, return a wrong
+// value silently (encrypted mode), or break the store for other keys.
+func FuzzDecodeValue(f *testing.F) {
+	// Seeds mirror corruption_test.go: version, geometry, record flags,
+	// record-length fields, value bytes.
+	f.Add(uint32(offVersion), byte(99), false)
+	f.Add(uint32(offRegionSize), byte(1), false)
+	f.Add(uint32(0), byte(0xFF), true)
+	f.Add(uint32(8), byte(0x00), true)
+	f.Add(uint32(64), byte(0x7F), true)
+	f.Fuzz(func(t *testing.T, off uint32, x byte, encrypted bool) {
+		s := fuzzStore(t, encrypted)
+		keys := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+		for i, k := range keys {
+			if err := s.Set(k, bytes.Repeat([]byte{byte(i + 1)}, 32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Corrupt one byte somewhere in the record area (never the
+		// superblock: reopen validation owns that surface, and the mmap
+		// is live here).
+		regionBytes := len(s.mem) - s.regionsOff
+		target := s.regionsOff + int(off)%regionBytes
+		s.mem[target] ^= x
+
+		for i, k := range keys {
+			val, ok, err := s.Get(k)
+			if err == nil && ok && encrypted && !bytes.Equal(val, bytes.Repeat([]byte{byte(i + 1)}, 32)) {
+				t.Fatalf("encrypted store returned tampered value %q without error", val)
+			}
+		}
+		// The maintenance paths must survive arbitrary record corruption.
+		_ = s.Range(func(k, v []byte) bool { return true })
+		_, _ = s.Clean()
+	})
+}
+
+// FuzzLoadSealedKey drives the sealed-key slot: arbitrary blobs must
+// round-trip byte-identical, oversized ones must be rejected, and a
+// corrupted length field must surface as an error, not a slice panic.
+func FuzzLoadSealedKey(f *testing.F) {
+	f.Add([]byte("sealed-key-blob"), uint32(15))
+	f.Add([]byte{}, uint32(0))
+	f.Add(bytes.Repeat([]byte{0xAB}, 4000), uint32(4000))
+	f.Add([]byte("x"), uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, blob []byte, badLen uint32) {
+		s := fuzzStore(t, false)
+		err := s.StoreSealedKey(blob)
+		if err != nil {
+			if len(blob) <= pageSize-4 {
+				t.Fatalf("StoreSealedKey rejected %d bytes: %v", len(blob), err)
+			}
+			return
+		}
+		got, err := s.LoadSealedKey()
+		if len(blob) == 0 {
+			if !errors.Is(err, ErrNoSealedKey) {
+				t.Fatalf("empty blob LoadSealedKey err = %v", err)
+			}
+		} else if err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("LoadSealedKey = %q err=%v, want %q", got, err, blob)
+		}
+		// Corrupt the length field: load must fail typed, not panic.
+		binary.LittleEndian.PutUint32(s.mem[offSealedLen:], badLen)
+		if _, err := s.LoadSealedKey(); err == nil && int(badLen) > pageSize-4 {
+			t.Fatalf("oversized sealed length %d accepted", badLen)
+		}
+	})
+}

@@ -277,6 +277,18 @@ func (s *Store) MaxPair() int {
 	return capacity
 }
 
+// storedPairSize returns the region bytes a pair occupies after
+// encoding — without paying for the encryption itself, so the write-back
+// layer can validate sizes eagerly. Mirrors encode: in encrypted mode
+// the key is sealed deterministically and the value stored as the
+// sealed (keyLen32 || key || value) combination.
+func (s *Store) storedPairSize(keyLen, valLen int) int {
+	if s.det == nil {
+		return recData + keyLen + valLen
+	}
+	return recData + (keyLen + ecrypto.Overhead) + (4 + keyLen + valLen + ecrypto.Overhead)
+}
+
 // Buckets returns the configured bucket count.
 func (s *Store) Buckets() int { return s.buckets }
 
@@ -412,7 +424,7 @@ func (s *Store) Set(key, value []byte) error {
 	binary.LittleEndian.PutUint64(mem[headOff:], region)
 	// Mark older versions outdated right away (Section 4.1: "the marking
 	// of outdated values is performed immediately after updates").
-	for off := head; off != 0; {
+	for off := head; off != 0 && s.validRecordOff(off); {
 		r := mem[off : off+uint64(s.regionSize)]
 		if s.recordKeyEquals(r, storedKey) {
 			flags := binary.LittleEndian.Uint32(r[recFlags:])
@@ -428,11 +440,34 @@ func (s *Store) Set(key, value []byte) error {
 }
 
 func (s *Store) recordKeyEquals(rec, key []byte) bool {
-	keyLen := int(binary.LittleEndian.Uint32(rec[recKeyLen:]))
-	if keyLen != len(key) {
+	keyLen, _, ok := s.recordSpans(rec)
+	if !ok || keyLen != len(key) {
 		return false
 	}
 	return string(rec[recData:recData+keyLen]) == string(key)
+}
+
+// validRecordOff reports whether off points at a record region inside
+// the store, aligned to the region grid. Chain walks check every link
+// before dereferencing it: the mmap is the trust boundary, and a
+// corrupted next pointer must end the chain, not crash the process.
+func (s *Store) validRecordOff(off uint64) bool {
+	if off < uint64(s.regionsOff) || off+uint64(s.regionSize) > uint64(len(s.mem)) {
+		return false
+	}
+	return (off-uint64(s.regionsOff))%uint64(s.regionSize) == 0
+}
+
+// recordSpans reads a record's key/value lengths and checks they fit
+// inside the region; corrupted length fields return ok=false.
+func (s *Store) recordSpans(rec []byte) (keyLen, valLen int, ok bool) {
+	keyLen = int(binary.LittleEndian.Uint32(rec[recKeyLen:]))
+	valLen = int(binary.LittleEndian.Uint32(rec[recValLen:]))
+	if keyLen < 0 || valLen < 0 || keyLen > len(rec) || valLen > len(rec) ||
+		recData+keyLen+valLen > len(rec) {
+		return 0, 0, false
+	}
+	return keyLen, valLen, true
 }
 
 // Get returns the newest value stored for key.
@@ -447,7 +482,7 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 	mem := s.mem
 	s.bucketMu[b].Lock()
 	defer s.bucketMu[b].Unlock()
-	for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0; {
+	for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0 && s.validRecordOff(off); {
 		rec := mem[off : off+uint64(s.regionSize)]
 		if s.recordKeyEquals(rec, storedKey) {
 			flags := binary.LittleEndian.Uint32(rec[recFlags:])
@@ -455,8 +490,10 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 				// Newest version is a tombstone: key absent.
 				return nil, false, nil
 			}
-			keyLen := int(binary.LittleEndian.Uint32(rec[recKeyLen:]))
-			valLen := int(binary.LittleEndian.Uint32(rec[recValLen:]))
+			keyLen, valLen, ok := s.recordSpans(rec)
+			if !ok {
+				return nil, false, ErrBadStore
+			}
 			stored := rec[recData+keyLen : recData+keyLen+valLen]
 			val, err := s.decodeValue(storedKey, stored, key)
 			if err != nil {
@@ -480,7 +517,7 @@ func (s *Store) Delete(key []byte) (bool, error) {
 	s.bucketMu[b].Lock()
 	defer s.bucketMu[b].Unlock()
 	found := false
-	for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0; {
+	for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0 && s.validRecordOff(off); {
 		rec := mem[off : off+uint64(s.regionSize)]
 		if s.recordKeyEquals(rec, storedKey) {
 			flags := binary.LittleEndian.Uint32(rec[recFlags:])
@@ -567,10 +604,12 @@ func (s *Store) Range(fn func(key, value []byte) bool) error {
 		seen := make(map[string]bool)
 		type pair struct{ key, value []byte }
 		var out []pair
-		for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0; {
+		for off := binary.LittleEndian.Uint64(mem[offBucketHeads+8*b:]); off != 0 && s.validRecordOff(off); {
 			rec := mem[off : off+uint64(s.regionSize)]
-			keyLen := int(binary.LittleEndian.Uint32(rec[recKeyLen:]))
-			valLen := int(binary.LittleEndian.Uint32(rec[recValLen:]))
+			keyLen, valLen, ok := s.recordSpans(rec)
+			if !ok {
+				break // corrupted record: the rest of this chain is lost
+			}
 			storedKey := rec[recData : recData+keyLen]
 			flags := binary.LittleEndian.Uint32(rec[recFlags:])
 			if !seen[string(storedKey)] {

@@ -40,6 +40,25 @@ func (s *Store) AttachTelemetry(reg *telemetry.Registry) {
 	s.tel.Store(t)
 }
 
+// AttachTelemetry exposes the sharded store's aggregate counters and
+// write-back state through reg. The per-shard Stores are deliberately
+// not attached individually (their metric names would collide); the
+// aggregate Stats sweep covers them.
+func (ss *ShardedStore) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("eactors_pos_cache_hits", "sharded POS write-back cache hits", ss.hits.Load)
+	reg.CounterFunc("eactors_pos_cache_misses", "sharded POS write-back cache misses", ss.misses.Load)
+	reg.CounterFunc("eactors_pos_flushes", "sharded POS shard write-backs", ss.flushes.Load)
+	reg.CounterFunc("eactors_pos_flushed_ops", "dirty entries persisted by write-backs", ss.flushOps.Load)
+	reg.CounterFunc("eactors_pos_sync_failures", "failed shard syncs (injected or organic)", ss.syncFails.Load)
+	reg.GaugeFunc("eactors_pos_dirty_entries", "dirty write-back entries across shards",
+		func() uint64 { return uint64(ss.Stats().Dirty) })
+	reg.GaugeFunc("eactors_pos_shards", "POS shard count",
+		func() uint64 { return uint64(len(ss.shards)) })
+}
+
 // opStart returns the timestamp to measure a store operation against, or
 // the zero time when telemetry is off (ObserveSince ignores it).
 func (s *Store) opStart() time.Time {

@@ -1,0 +1,80 @@
+package storeactors
+
+import (
+	"fmt"
+
+	"github.com/eactors/eactors-go/internal/core"
+)
+
+// Pool scales the FILER service across cores: N independent filer
+// eactors, each with its own file table, serving disjoint slices of the
+// path space. Requesters route every path to the filer PathShard picks,
+// so one file is only ever owned by one filer — no cross-filer handle
+// coordination, no shared table lock, and each filer drains its own
+// channels with the batch fast path.
+type Pool struct {
+	systems []*System
+}
+
+// NewPool creates a pool of n storage systems, all confined beneath
+// root ("" = no confinement). The systems share the directory tree but
+// never the same file: affinity routing keeps each path on one filer.
+func NewPool(root string, n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{systems: make([]*System, n)}
+	for i := range p.systems {
+		p.systems[i] = NewSystem(root)
+	}
+	return p
+}
+
+// Size returns the number of filers in the pool.
+func (p *Pool) Size() int { return len(p.systems) }
+
+// System returns the i-th filer's storage system.
+func (p *Pool) System(i int) *System { return p.systems[i] }
+
+// Shutdown closes every open file in every filer; call after the
+// runtime stopped.
+func (p *Pool) Shutdown() {
+	for _, s := range p.systems {
+		s.Shutdown()
+	}
+}
+
+// PathShard returns the pool member that owns path — the same stable
+// FNV-1a hash the sharded POS uses for keys, so a deployment can align
+// file affinity with key affinity.
+func PathShard(path string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(path); i++ {
+		h ^= uint32(path[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// FilerName returns the spec name of pool member i under prefix
+// (e.g. "filer-0"). Kept in one place so deployments and tests agree.
+func FilerName(prefix string, i int) string { return fmt.Sprintf("%s-%d", prefix, i) }
+
+// Specs builds one FILER spec per pool member. worker maps a pool index
+// to the worker that runs it (spread them for parallelism); channels
+// maps a pool index to the channel names that filer serves. Deploy the
+// returned specs untrusted, like a single FilerSpec.
+func (p *Pool) Specs(prefix string, worker func(i int) int, channels func(i int) []string) []core.Spec {
+	specs := make([]core.Spec, len(p.systems))
+	for i, s := range p.systems {
+		specs[i] = s.FilerSpec(FilerName(prefix, i), worker(i), channels(i)...)
+	}
+	return specs
+}

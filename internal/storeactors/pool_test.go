@@ -1,0 +1,211 @@
+package storeactors
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+func TestPathShardStable(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		a := PathShard("vault/users.bin", n)
+		if b := PathShard("vault/users.bin", n); a != b {
+			t.Fatalf("PathShard unstable for n=%d", n)
+		}
+		if a < 0 || a >= n {
+			t.Fatalf("PathShard out of range for n=%d: %d", n, a)
+		}
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		seen[PathShard(fmt.Sprintf("dir/file-%d", i), 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("256 paths hit only %d of 4 filers", len(seen))
+	}
+}
+
+func TestPoolSpecs(t *testing.T) {
+	p := NewPool(t.TempDir(), 3)
+	defer p.Shutdown()
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	specs := p.Specs("filer",
+		func(i int) int { return i },
+		func(i int) []string { return []string{fmt.Sprintf("fs-%d", i)} })
+	if len(specs) != 3 {
+		t.Fatalf("Specs = %d", len(specs))
+	}
+	for i, sp := range specs {
+		if sp.Name != FilerName("filer", i) || sp.Worker != i {
+			t.Fatalf("spec %d = {Name %q, Worker %d}", i, sp.Name, sp.Worker)
+		}
+	}
+	if NewPool("", 0).Size() != 1 {
+		t.Fatal("zero-size pool not clamped to 1")
+	}
+}
+
+// TestFilerPoolConcurrent is the -race regression for the pool:
+// concurrent clients hammer all filers at once with affinity-routed
+// writes and reads, and every file must come out intact with no handle
+// leaked and no table shared across filers.
+func TestFilerPoolConcurrent(t *testing.T) {
+	const filers = 4
+	dir := t.TempDir()
+	pool := NewPool(dir, filers)
+	defer pool.Shutdown()
+
+	platform := sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel()))
+	actors := []core.Spec{}
+	channels := []core.ChannelSpec{}
+	for i := 0; i < filers; i++ {
+		ch := fmt.Sprintf("fs-%d", i)
+		app := fmt.Sprintf("app-%d", i)
+		actors = append(actors, core.Spec{Name: app, Worker: 0, Body: func(*core.Self) {}})
+		channels = append(channels, core.ChannelSpec{Name: ch, A: app, B: FilerName("filer", i)})
+	}
+	actors = append(actors, pool.Specs("filer",
+		func(i int) int { return 1 + i%2 },
+		func(i int) []string { return []string{fmt.Sprintf("fs-%d", i)} })...)
+
+	rt, err := core.NewRuntime(platform, core.Config{
+		Workers:  []core.WorkerSpec{{}, {}, {}},
+		Actors:   actors,
+		Channels: channels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < filers; i++ {
+		ep, err := core.EndpointForTest(rt, fmt.Sprintf("app-%d", i), fmt.Sprintf("fs-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, ep *core.Endpoint) {
+			defer wg.Done()
+			client := &filerClient{ep: ep, recv: make([]byte, 4096)}
+			for f := 0; f < 8; f++ {
+				// Affinity: this client only touches paths its filer owns.
+				name := ""
+				for cand := 0; ; cand++ {
+					name = fmt.Sprintf("file-%d.bin", cand+1000*f)
+					if PathShard(name, filers) == i {
+						break
+					}
+				}
+				payload := bytes.Repeat([]byte{byte(i), byte(f)}, 64)
+				open := client.call(t, Msg{Type: OpOpen, Arg: ModeCreate, Data: []byte(name)}, OpOK)
+				client.call(t, Msg{Type: OpWrite, Handle: open.Handle, Data: payload}, OpOK)
+				client.call(t, Msg{Type: OpSync, Handle: open.Handle}, OpOK)
+				client.call(t, Msg{Type: OpClose, Handle: open.Handle}, OpOK)
+				got, err := os.ReadFile(filepath.Join(dir, name))
+				if err != nil || !bytes.Equal(got, payload) {
+					t.Errorf("filer %d file %s: %v", i, name, err)
+					return
+				}
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+
+	for i := 0; i < filers; i++ {
+		if n := pool.System(i).Table().Len(); n != 0 {
+			t.Fatalf("filer %d leaked %d handles", i, n)
+		}
+	}
+}
+
+// TestFilerPoolMailboxShedding pins the backpressure contract: when a
+// filer's request mbox is full, Send fails fast with the typed
+// core.ErrMailboxFull (callers shed or retry — nothing blocks), and the
+// queue drains once the filer runs.
+func TestFilerPoolMailboxShedding(t *testing.T) {
+	dir := t.TempDir()
+	pool := NewPool(dir, 1)
+	defer pool.Shutdown()
+	platform := sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel()))
+	rt, err := core.NewRuntime(platform, core.Config{
+		Workers: []core.WorkerSpec{{}},
+		Actors: append([]core.Spec{
+			{Name: "app", Worker: 0, Body: func(*core.Self) {}},
+		}, pool.Specs("filer",
+			func(int) int { return 0 },
+			func(int) []string { return []string{"fs-0"} })...),
+		Channels: []core.ChannelSpec{{Name: "fs-0", A: "app", B: FilerName("filer", 0), Capacity: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := core.EndpointForTest(rt, "app", "fs-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The runtime is not started yet, so the filer cannot drain: filling
+	// the mbox is deterministic.
+	frame, err := Msg{Type: OpOpen, Arg: ModeCreate, Data: []byte("x.bin")}.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	var sendErr error
+	for i := 0; i < 64; i++ {
+		if sendErr = ep.Send(frame); sendErr != nil {
+			break
+		}
+		sent++
+	}
+	if sendErr == nil {
+		t.Fatal("mbox never filled")
+	}
+	if !errors.Is(sendErr, core.ErrMailboxFull) {
+		t.Fatalf("full-mbox err = %v, want core.ErrMailboxFull", sendErr)
+	}
+
+	// Once the filer runs, the backlog drains and replies arrive.
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	recv := make([]byte, 4096)
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < sent {
+		n, ok, err := ep.Recv(recv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			resp, err := ParseMsg(recv[:n])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Type != OpOK {
+				t.Fatalf("reply type = %d (%s)", resp.Type, resp.Data)
+			}
+			got++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d of %d replies", got, sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
