@@ -41,6 +41,8 @@ func run() error {
 	flush := flag.Duration("flush", 100*time.Millisecond, "write-back flush interval (negative = sync per drained burst)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
 	metrics := flag.String("metrics", "", "serve telemetry over HTTP at this address, e.g. :9090 (enables telemetry)")
+	traceOn := flag.Bool("trace", false, "enable sampled causal tracing (exported on /debug/traces when -metrics is set)")
+	traceSample := flag.Int("trace-sample", 0, "root one trace per this many inbound bursts (0 = default 64)")
 	flag.Parse()
 
 	var encKey *[ecrypto.KeySize]byte
@@ -64,14 +66,16 @@ func run() error {
 	}
 
 	srv, err := kv.Start(kv.Options{
-		ListenAddr:    *listen,
-		Shards:        *shards,
-		Trusted:       *trusted,
-		Dir:           *dir,
-		StoreSize:     *storeSize,
-		EncryptionKey: encKey,
-		FlushInterval: *flush,
-		Telemetry:     *metrics != "",
+		ListenAddr:       *listen,
+		Shards:           *shards,
+		Trusted:          *trusted,
+		Dir:              *dir,
+		StoreSize:        *storeSize,
+		EncryptionKey:    encKey,
+		FlushInterval:    *flush,
+		Telemetry:        *metrics != "",
+		Trace:            *traceOn,
+		TraceSampleEvery: *traceSample,
 	})
 	if err != nil {
 		return err
@@ -80,12 +84,15 @@ func run() error {
 	fmt.Printf("kvserver: listening on %s (shards=%d trusted=%v encrypted=%v dir=%q)\n",
 		srv.Addr(), *shards, *trusted, encKey != nil, *dir)
 	if *metrics != "" {
-		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry())
+		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer stopHTTP()
 		fmt.Printf("kvserver: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+		if *traceOn {
+			fmt.Printf("kvserver: traces on http://%s/debug/traces (Chrome trace-event JSON)\n", bound)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

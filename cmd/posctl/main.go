@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/eactors/eactors-go/internal/pos"
+	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func run() error {
 	size := flag.Int("size", 16<<20, "store size in bytes (used at creation)")
 	buckets := flag.Int("buckets", 0, "bucket count (must match an existing store)")
 	region := flag.Int("region", 0, "region size in bytes")
+	metrics := flag.String("metrics", "", "serve store telemetry over HTTP at this address, e.g. :9090, until interrupted (like kvserver/xmppserver)")
 	flag.Parse()
 
 	if *store == "" {
@@ -49,6 +53,31 @@ func run() error {
 	}
 	defer s.Close()
 
+	if *metrics != "" {
+		reg := telemetry.New(1, 0)
+		s.AttachTelemetry(reg)
+		bound, stopHTTP, err := telemetry.Serve(*metrics, reg)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer stopHTTP()
+		fmt.Fprintf(os.Stderr, "posctl: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+		if err := execute(s, args); err != nil {
+			return err
+		}
+		// Keep the exporter up so the store counters the command just
+		// produced can actually be scraped; interrupt to exit.
+		fmt.Fprintln(os.Stderr, "posctl: serving metrics until interrupted (ctrl-c to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		return nil
+	}
+	return execute(s, args)
+}
+
+// execute runs one posctl command against the open store.
+func execute(s *pos.Store, args []string) error {
 	switch args[0] {
 	case "set":
 		if len(args) != 3 {

@@ -39,6 +39,8 @@ func run() error {
 	rooms := flag.String("rooms", "", "comma-separated group chats confined to dedicated enclaves")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
 	metrics := flag.String("metrics", "", "serve telemetry over HTTP at this address, e.g. :9090 (enables telemetry)")
+	traceOn := flag.Bool("trace", false, "enable sampled causal tracing (exported on /debug/traces when -metrics is set)")
+	traceSample := flag.Int("trace-sample", 0, "root one trace per this many inbound bursts (0 = default 64)")
 	directory := flag.Bool("directory", true, "keep the online directory in a sealed persistent object store (the paper's Section 5.1 design)")
 	flag.Parse()
 
@@ -61,13 +63,15 @@ func run() error {
 		defer dirStore.Close()
 	}
 	srv, err := xmpp.Start(xmpp.Options{
-		ListenAddr:     *listen,
-		Shards:         *shards,
-		Trusted:        *trusted,
-		EnclaveCount:   *enclaves,
-		DedicatedRooms: dedicated,
-		DirectoryStore: dirStore,
-		Telemetry:      *metrics != "",
+		ListenAddr:       *listen,
+		Shards:           *shards,
+		Trusted:          *trusted,
+		EnclaveCount:     *enclaves,
+		DedicatedRooms:   dedicated,
+		DirectoryStore:   dirStore,
+		Telemetry:        *metrics != "",
+		Trace:            *traceOn,
+		TraceSampleEvery: *traceSample,
 	})
 	if err != nil {
 		return err
@@ -76,12 +80,15 @@ func run() error {
 	fmt.Printf("xmppserver: listening on %s (shards=%d trusted=%v enclaves=%d)\n",
 		srv.Addr(), *shards, *trusted, *enclaves)
 	if *metrics != "" {
-		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry())
+		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer stopHTTP()
 		fmt.Printf("xmppserver: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+		if *traceOn {
+			fmt.Printf("xmppserver: traces on http://%s/debug/traces (Chrome trace-event JSON)\n", bound)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/trace"
+)
+
+// buildTracePair builds a one-channel deployment with tracing switched
+// on or off, returning the two endpoints, the sender's trace scope and
+// the tracer (both nil with tracing off). The runtime's workers never
+// run; the benchmark drives the endpoints directly, the way the core
+// channel benchmarks do.
+func buildTracePair(b *testing.B, traced, encrypted bool) (src, dst *core.Endpoint, sc *trace.Scope, tr *trace.Tracer) {
+	b.Helper()
+	cfg := core.Config{
+		Trace:            traced,
+		TraceSampleEvery: trace.DefaultSampleEvery,
+		Workers:          []core.WorkerSpec{{}},
+		PoolNodes:        512,
+		NodePayload:      256,
+		Actors: []core.Spec{
+			{Name: "a", Worker: 0, Body: func(*core.Self) {}},
+			{Name: "b", Worker: 0, Body: func(*core.Self) {}},
+		},
+		Channels: []core.ChannelSpec{{Name: "link", A: "a", B: "b", Capacity: 256}},
+	}
+	if encrypted {
+		cfg.Enclaves = []core.EnclaveSpec{{Name: "ea"}, {Name: "eb"}}
+		cfg.Actors[0].Enclave = "ea"
+		cfg.Actors[1].Enclave = "eb"
+	}
+	rt, err := core.NewRuntime(sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())), cfg)
+	if err != nil {
+		b.Fatalf("NewRuntime: %v", err)
+	}
+	b.Cleanup(rt.Stop)
+	if src, err = rt.EndpointForTest("a", "link"); err != nil {
+		b.Fatal(err)
+	}
+	if dst, err = rt.EndpointForTest("b", "link"); err != nil {
+		b.Fatal(err)
+	}
+	if traced {
+		if sc, err = rt.ScopeForTest("a"); err != nil {
+			b.Fatal(err)
+		}
+		tr = rt.Tracer()
+	}
+	return src, dst, sc, tr
+}
+
+// benchTraceSendRecv measures the single-message channel hop with the
+// tracer off (the ≤2% budget: one nil check per path) or armed at the
+// default 1-in-64 sampling (the ≤10% budget), rooting traces at the
+// sender the way the READER roots them at the wire.
+func benchTraceSendRecv(b *testing.B, traced, encrypted bool) {
+	src, dst, sc, tr := buildTracePair(b, traced, encrypted)
+	payload := make([]byte, 64)
+	buf := make([]byte, 256)
+	var tick uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if traced {
+			if ctx, ok := tr.MaybeRoot(&tick); ok {
+				sc.Adopt(ctx)
+			}
+		}
+		if err := src.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := dst.Recv(buf); !ok || err != nil {
+			b.Fatalf("Recv: ok=%v err=%v", ok, err)
+		}
+		// One root context traces exactly one hop; the scope only
+		// carries it for that message (mirrors the worker's per-invoke
+		// scope clear).
+		sc.Clear()
+	}
+}
+
+func benchTraceBatch(b *testing.B, traced bool) {
+	const batch = 64
+	src, dst, sc, tr := buildTracePair(b, traced, false)
+	payload := make([]byte, 64)
+	payloads := make([][]byte, batch)
+	for i := range payloads {
+		payloads[i] = payload
+	}
+	bufs, lens := core.BatchBufs(batch, 256)
+	var tick uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		if traced {
+			if ctx, ok := tr.MaybeRoot(&tick); ok {
+				sc.Adopt(ctx)
+			}
+		}
+		sent, err := src.SendBatch(payloads)
+		if err != nil || sent != batch {
+			b.Fatalf("SendBatch = %d, %v", sent, err)
+		}
+		got, err := dst.RecvBatch(bufs, lens)
+		if err != nil || got != batch {
+			b.Fatalf("RecvBatch = %d, %v", got, err)
+		}
+		sc.Clear()
+	}
+}
+
+// BenchmarkTraceOff is the compiled-in-but-disabled cost of the tracing
+// subsystem on the channel hot path (acceptance budget ≤2% vs the
+// untraced baseline in the core channel benchmarks).
+func BenchmarkTraceOff(b *testing.B) {
+	b.Run("single", func(b *testing.B) { benchTraceSendRecv(b, false, false) })
+	b.Run("single-enc", func(b *testing.B) { benchTraceSendRecv(b, false, true) })
+	b.Run("batch64", func(b *testing.B) { benchTraceBatch(b, false) })
+}
+
+// BenchmarkTraceSampled is the armed cost at the default 1-in-64
+// sampling (acceptance budget ≤10%): most hops pay one scope load, the
+// sampled hop pays clocks and span records.
+func BenchmarkTraceSampled(b *testing.B) {
+	b.Run("single", func(b *testing.B) { benchTraceSendRecv(b, true, false) })
+	b.Run("single-enc", func(b *testing.B) { benchTraceSendRecv(b, true, true) })
+	b.Run("batch64", func(b *testing.B) { benchTraceBatch(b, true) })
+}

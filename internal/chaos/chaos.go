@@ -153,11 +153,20 @@ func RunXMPP(seed uint64, messages int, timeout time.Duration) (Result, error) {
 	res := Result{Seed: seed}
 	// Trusted, so the shards sit in enclaves: crossings exercise the
 	// enter/exit fault sites and cross-enclave channels the seal site.
-	srv, err := xmpp.Start(xmpp.Options{Shards: 2, Trusted: true, EnclaveCount: 2, Faults: inj})
+	srv, err := xmpp.Start(xmpp.Options{
+		Shards: 2, Trusted: true, EnclaveCount: 2, Faults: inj,
+		// Observability stays on so a failing seed leaves post-mortems
+		// (flight recorders + densely sampled traces, see dumpArtifacts).
+		Telemetry: true, Trace: true, TraceSampleEvery: 8,
+	})
 	if err != nil {
 		return res, err
 	}
 	defer srv.Stop()
+	fail := func(err error) (Result, error) {
+		dumpArtifacts("xmpp", seed, srv.Runtime())
+		return res, err
+	}
 
 	// A corrupted seal on a handshake frame or on the encrypted
 	// connector→shard session handoff is a loss SendRetry cannot see
@@ -183,7 +192,7 @@ func RunXMPP(seed uint64, messages int, timeout time.Duration) (Result, error) {
 		return nil
 	}
 	if err := connect(); err != nil {
-		return res, err
+		return fail(err)
 	}
 	defer func() {
 		_ = alice.Close()
@@ -197,12 +206,12 @@ func RunXMPP(seed uint64, messages int, timeout time.Duration) (Result, error) {
 		stall := time.Now()
 		for !seen[body] {
 			if time.Now().After(deadline) {
-				return res, fmt.Errorf("chaos: xmpp delivered %d/%d messages before timeout (seed %d, %d faults injected)",
-					i, messages, seed, inj.Injected())
+				return fail(fmt.Errorf("chaos: xmpp delivered %d/%d messages before timeout (seed %d, %d faults injected)",
+					i, messages, seed, inj.Injected()))
 			}
 			if time.Since(stall) > time.Second {
 				if err := connect(); err != nil {
-					return res, err
+					return fail(err)
 				}
 				stall = time.Now()
 			}

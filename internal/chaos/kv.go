@@ -99,6 +99,12 @@ func RunKV(seed uint64, ops int, timeout time.Duration) (Result, error) {
 		// times within the run and every failed flush gets retried.
 		FlushInterval: 10 * time.Millisecond,
 		Faults:        inj,
+		// Observability stays on during chaos runs so a failing seed
+		// leaves post-mortems: flight recorders plus densely sampled
+		// traces (see dumpArtifacts).
+		Telemetry:        true,
+		Trace:            true,
+		TraceSampleEvery: 8,
 	})
 	if err != nil {
 		return res, err
@@ -117,6 +123,7 @@ func RunKV(seed uint64, ops int, timeout time.Duration) (Result, error) {
 	deadline := time.Now().Add(timeout)
 
 	fail := func(op, key string, err error) (Result, error) {
+		dumpArtifacts("kv", seed, srv.Runtime())
 		return res, fmt.Errorf("chaos: kv %s %s after %d/%d ops (seed %d, %d faults injected): %w",
 			op, key, res.Rounds, ops, seed, inj.Injected(), err)
 	}

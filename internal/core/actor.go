@@ -19,6 +19,7 @@ import (
 	"github.com/eactors/eactors-go/internal/mem"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // Body is an eactor body function: invoked repeatedly by the runtime, it
@@ -90,6 +91,11 @@ type actorInstance struct {
 	restartAt atomic.Int64
 	parkGen   atomic.Uint64
 	forceGen  atomic.Uint64
+
+	// scope is the actor's active trace context (zero value when tracing
+	// is disabled): cleared by the worker before each invocation, adopted
+	// by traced receives, read by sends.
+	scope trace.Scope
 }
 
 // failureText returns the last recorded panic value ("" if the actor
@@ -209,6 +215,21 @@ func (s *Self) RecvBatch(ep *Endpoint, bufs [][]byte, lens []int) (int, error) {
 	}
 	return n, err
 }
+
+// Tracer returns the runtime's causal tracer (nil — a valid no-op
+// receiver — when Config.Trace is off). Bodies use it with TraceScope
+// to record application-level spans (POS access, routing) and system
+// eactors use MaybeRoot to start traces at ingress.
+func (s *Self) Tracer() *trace.Tracer { return s.rt.tr }
+
+// TraceScope returns the eactor's active trace scope. Always non-nil;
+// reads are untraced whenever tracing is off or the current invocation
+// handles no sampled message.
+func (s *Self) TraceScope() *trace.Scope { return &s.inst.scope }
+
+// WorkerID returns the index of the worker executing this eactor, used
+// to attribute trace spans to the recording worker's ring.
+func (s *Self) WorkerID() int { return s.inst.worker.id }
 
 // Waker returns a function that wakes this eactor's worker from its
 // idle sleep. It is safe to call from any goroutine; system eactors

@@ -10,6 +10,7 @@ import (
 	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/mem"
 	"github.com/eactors/eactors-go/internal/telemetry"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // Channel-layer errors. Every send failure path returns one of these
@@ -125,6 +126,17 @@ type Endpoint struct {
 	sendNs     *telemetry.Histogram
 	sampleTick uint32
 
+	// Tracing (all nil/zero unless Config.Trace): tr is the runtime's
+	// causal tracer, scope the owning actor's trace scope and owner its
+	// worker index for span attribution. Sends stamp the scope's active
+	// context onto outbound nodes (and, on encrypted channels, into a
+	// sealed trailer); receives adopt inbound contexts and record
+	// dwell/crossing/open spans. Untraced operations on an armed
+	// endpoint cost one atomic scope load.
+	tr    *trace.Tracer
+	scope *trace.Scope
+	owner int
+
 	sent         atomic.Uint64
 	received     atomic.Uint64
 	sendFailures atomic.Uint64
@@ -146,11 +158,18 @@ func (e *Endpoint) SendFailures() uint64 { return e.sendFailures.Load() }
 // Channel returns the owning channel.
 func (e *Endpoint) Channel() *Channel { return e.ch }
 
-// MaxPayload returns the largest payload Send accepts.
+// MaxPayload returns the largest payload Send accepts. On encrypted
+// channels of a tracing runtime the sealed frame also carries the
+// 16-byte trace trailer, so the application budget shrinks by that
+// much (deterministic framing: the trailer is always present, traced
+// or not).
 func (e *Endpoint) MaxPayload() int {
 	capacity := e.pool.Arena().PayloadSize()
 	if e.cipher != nil {
 		capacity -= ecrypto.Overhead
+		if e.tr != nil {
+			capacity -= trace.HeaderSize
+		}
 	}
 	return capacity
 }
@@ -194,6 +213,115 @@ func (e *Endpoint) noteRecv(n int) {
 	if e.sampleTick&latencySampleMask == 0 {
 		e.rec.Record(telemetry.EvDequeue, e.ch.tag, uint64(n))
 	}
+}
+
+// traceSendStart opens a send span when the owning invocation carries a
+// sampled trace. ctx is the context stamped onto outbound nodes — its
+// Span is the freshly allocated send span, which the receive side
+// parents its spans to; parent is the scope's current span, which the
+// send span itself hangs off. Zero results mean untraced; the
+// armed-but-untraced cost is one atomic load.
+func (e *Endpoint) traceSendStart() (ctx trace.Ctx, parent uint32, start time.Time) {
+	if e.tr == nil {
+		return trace.Ctx{}, 0, time.Time{}
+	}
+	c := e.scope.Active()
+	if !c.Traced() {
+		return trace.Ctx{}, 0, time.Time{}
+	}
+	return trace.Ctx{TraceID: c.TraceID, Span: e.tr.NextSpan()}, c.Span, time.Now()
+}
+
+// traceSendEnd records the send span opened by traceSendStart, covering
+// n enqueued messages (batch sends share one span).
+func (e *Endpoint) traceSendEnd(ctx trace.Ctx, parent uint32, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	e.tr.Record(e.owner, trace.Span{
+		TraceID: ctx.TraceID, ID: ctx.Span, Parent: parent,
+		Kind: trace.KindSend, Ref: e.ch.tag,
+		Start: start.UnixNano(), Dur: int64(time.Since(start)),
+	})
+}
+
+// traceSeal records a seal span under the send span.
+func (e *Endpoint) traceSeal(ctx trace.Ctx, start time.Time) {
+	if start.IsZero() || !ctx.Traced() {
+		return
+	}
+	e.tr.Record(e.owner, trace.Span{
+		TraceID: ctx.TraceID, ID: e.tr.NextSpan(), Parent: ctx.Span,
+		Kind: trace.KindSeal, Ref: e.ch.tag,
+		Start: start.UnixNano(), Dur: int64(time.Since(start)),
+	})
+}
+
+// stampTrace writes an outbound node's trace header before enqueue.
+// Untraced nodes are explicitly cleared: pool nodes are recycled, and a
+// stale header from an earlier traced message must not resurrect.
+func stampTrace(node *mem.Node, ctx trace.Ctx, enqNS int64) {
+	if ctx.Traced() {
+		node.SetTrace(ctx.TraceID, ctx.Span, enqNS)
+	} else {
+		node.ClearTrace()
+	}
+}
+
+// traceRecvPlain adopts a plaintext inbound message's trace context and
+// records the mailbox-dwell span (enqueue timestamp to now). Called
+// with e.tr != nil and ctx traced.
+func (e *Endpoint) traceRecvPlain(ctx trace.Ctx, enq int64) {
+	now := time.Now().UnixNano()
+	if enq > 0 && enq <= now {
+		e.tr.Record(e.owner, trace.Span{
+			TraceID: ctx.TraceID, ID: e.tr.NextSpan(), Parent: ctx.Span,
+			Kind: trace.KindDwell, Ref: e.ch.tag,
+			Start: enq, Dur: now - enq,
+		})
+	}
+	e.scope.Adopt(ctx)
+}
+
+// traceRecvSealed adopts a sealed inbound message's authenticated trace
+// context (from the stripped trailer) and records the enclave-boundary
+// spans: a crossing span covering the message's whole transit (enqueue
+// to open complete), with the mailbox dwell and the open as children.
+// The crossing is attributed to the message rather than the worker
+// because a worker whose eactors share one enclave never re-crosses
+// (the paper's central optimisation) — the boundary the message paid is
+// the one worth seeing. enq comes from the node's untrusted header, so
+// it bounds measurement only, never causality.
+func (e *Endpoint) traceRecvSealed(ctx trace.Ctx, enq int64, openStart time.Time) {
+	now := time.Now()
+	nowNS := now.UnixNano()
+	crossing := e.tr.NextSpan()
+	if enq > 0 && enq <= nowNS {
+		e.tr.Record(e.owner, trace.Span{
+			TraceID: ctx.TraceID, ID: crossing, Parent: ctx.Span,
+			Kind: trace.KindCrossing, Ref: e.ch.tag,
+			Start: enq, Dur: nowNS - enq,
+		})
+		dwellEnd := nowNS
+		if !openStart.IsZero() {
+			dwellEnd = openStart.UnixNano()
+		}
+		if dwellEnd >= enq {
+			e.tr.Record(e.owner, trace.Span{
+				TraceID: ctx.TraceID, ID: e.tr.NextSpan(), Parent: crossing,
+				Kind: trace.KindDwell, Ref: e.ch.tag,
+				Start: enq, Dur: dwellEnd - enq,
+			})
+		}
+	}
+	if !openStart.IsZero() {
+		e.tr.Record(e.owner, trace.Span{
+			TraceID: ctx.TraceID, ID: e.tr.NextSpan(), Parent: crossing,
+			Kind: trace.KindOpen, Ref: e.ch.tag,
+			Start: openStart.UnixNano(), Dur: int64(now.Sub(openStart)),
+		})
+	}
+	e.scope.Adopt(ctx)
 }
 
 // injectSend consults the fault injector at the send site: SendFail
@@ -267,19 +395,34 @@ func (e *Endpoint) Send(payload []byte) error {
 		return ErrMailboxFull
 	}
 	start := e.maybeSample()
+	tctx, tparent, tstart := e.traceSendStart()
 	node := e.pool.Get()
 	if node == nil {
 		e.sendFailures.Add(1)
 		return ErrPoolEmpty
 	}
 	if e.cipher != nil {
+		plain := payload
+		if e.tr != nil {
+			// Armed encrypted channels always carry the 16-byte trailer
+			// inside the sealed frame (traced or not), so framing stays
+			// deterministic and the context is authenticated.
+			e.scratch = trace.AppendHeader(append(e.scratch[:0], payload...), tctx)
+			plain = e.scratch
+		}
 		var sealStart time.Time
-		if !start.IsZero() {
+		if !start.IsZero() || !tstart.IsZero() {
 			sealStart = time.Now()
 		}
-		blob := e.cipher.Seal(node.Buf()[:0], payload, nil)
+		blob := e.cipher.Seal(node.Buf()[:0], plain, nil)
 		if !sealStart.IsZero() {
-			e.m.sealNs.ObserveSince(sealStart)
+			if !start.IsZero() {
+				e.m.sealNs.ObserveSince(sealStart)
+			}
+			e.traceSeal(tctx, sealStart)
+		}
+		if e.tr != nil {
+			e.noteScratchUse(len(plain))
 		}
 		if e.injectSealCorrupt() {
 			corruptSealed(blob)
@@ -292,6 +435,13 @@ func (e *Endpoint) Send(payload []byte) error {
 		_ = e.pool.Put(node)
 		return err
 	}
+	if e.tr != nil {
+		var enq int64
+		if tctx.Traced() {
+			enq = time.Now().UnixNano()
+		}
+		stampTrace(node, tctx, enq)
+	}
 	if !e.out.Enqueue(node) {
 		_ = e.pool.Put(node)
 		e.sendFailures.Add(1)
@@ -299,6 +449,7 @@ func (e *Endpoint) Send(payload []byte) error {
 	}
 	e.sent.Add(1)
 	e.noteSent(1, start)
+	e.traceSendEnd(tctx, tparent, tstart)
 	e.wakePeer(act)
 	return nil
 }
@@ -372,18 +523,25 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 		return ErrMailboxFull
 	}
 	start := e.maybeSample()
+	tctx, tparent, tstart := e.traceSendStart()
 	if e.cipher != nil {
 		if node.Len() > e.MaxPayload() {
 			return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, node.Len(), e.MaxPayload())
 		}
 		var sealStart time.Time
-		if !start.IsZero() {
+		if !start.IsZero() || !tstart.IsZero() {
 			sealStart = time.Now()
 		}
 		e.scratch = append(e.scratch[:0], node.Payload()...)
+		if e.tr != nil {
+			e.scratch = trace.AppendHeader(e.scratch, tctx)
+		}
 		blob := e.cipher.Seal(node.Buf()[:0], e.scratch, nil)
 		if !sealStart.IsZero() {
-			e.m.sealNs.ObserveSince(sealStart)
+			if !start.IsZero() {
+				e.m.sealNs.ObserveSince(sealStart)
+			}
+			e.traceSeal(tctx, sealStart)
 		}
 		if e.injectSealCorrupt() {
 			corruptSealed(blob)
@@ -393,12 +551,20 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 			return err
 		}
 	}
+	if e.tr != nil {
+		var enq int64
+		if tctx.Traced() {
+			enq = time.Now().UnixNano()
+		}
+		stampTrace(node, tctx, enq)
+	}
 	if !e.out.Enqueue(node) {
 		e.sendFailures.Add(1)
 		return ErrMailboxFull
 	}
 	e.sent.Add(1)
 	e.noteSent(1, start)
+	e.traceSendEnd(tctx, tparent, tstart)
 	e.wakePeer(act)
 	return nil
 }
@@ -452,6 +618,7 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		return 0, ErrMailboxFull
 	}
 	start := e.maybeSample()
+	tctx, tparent, tstart := e.traceSendStart()
 	nodes := e.nodeSlots(len(payloads))
 	got := e.pool.GetBatch(nodes)
 	if got == 0 {
@@ -459,13 +626,28 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		return 0, ErrPoolEmpty
 	}
 	var sealStart time.Time
-	if !start.IsZero() && e.cipher != nil {
+	if (!start.IsZero() || !tstart.IsZero()) && e.cipher != nil {
 		sealStart = time.Now()
 	}
+	var enq int64
+	if tctx.Traced() {
+		// One timestamp for the burst: every node of a traced batch
+		// shares the send span and the enqueue time.
+		enq = time.Now().UnixNano()
+	}
+	maxStage := 0
 	for i := 0; i < got; i++ {
 		node := nodes[i]
 		if e.cipher != nil {
-			blob := e.cipher.Seal(node.Buf()[:0], payloads[i], nil)
+			plain := payloads[i]
+			if e.tr != nil {
+				e.scratch = trace.AppendHeader(append(e.scratch[:0], payloads[i]...), tctx)
+				plain = e.scratch
+				if len(plain) > maxStage {
+					maxStage = len(plain)
+				}
+			}
+			blob := e.cipher.Seal(node.Buf()[:0], plain, nil)
 			if e.injectSealCorrupt() {
 				corruptSealed(blob)
 			}
@@ -473,10 +655,19 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		} else {
 			_ = node.SetPayload(payloads[i])
 		}
+		if e.tr != nil {
+			stampTrace(node, tctx, enq)
+		}
+	}
+	if e.tr != nil && e.cipher != nil {
+		e.noteScratchUse(maxStage)
 	}
 	if !sealStart.IsZero() {
-		// One timed pass over the burst, attributed per payload.
-		e.m.sealNs.Observe(uint64(time.Since(sealStart)) / uint64(got))
+		if !start.IsZero() {
+			// One timed pass over the burst, attributed per payload.
+			e.m.sealNs.Observe(uint64(time.Since(sealStart)) / uint64(got))
+		}
+		e.traceSeal(tctx, sealStart)
 	}
 	sent := e.out.EnqueueBatch(nodes[:got])
 	if sent < got {
@@ -488,6 +679,7 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		if e.m != nil {
 			e.m.sendBatch.Observe(uint64(sent))
 		}
+		e.traceSendEnd(tctx, tparent, tstart)
 		e.wakePeer(act)
 	}
 	if sent < len(payloads) {
@@ -531,11 +723,29 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 	if e.m != nil {
 		e.m.recvBatch.Observe(uint64(got))
 	}
-	var openStart time.Time
+	// Batch trace hint: one pass over the untrusted node headers decides
+	// whether the burst carries a sampled message (and so whether the
+	// open sweep needs a timestamp).
+	batchTraced := false
+	if e.tr != nil && e.cipher != nil {
+		for i := 0; i < got; i++ {
+			if tid, _, _ := nodes[i].Trace(); tid != 0 {
+				batchTraced = true
+				break
+			}
+		}
+	}
+	var sampled, openStart time.Time
 	if e.cipher != nil {
-		openStart = e.maybeSample()
+		sampled = e.maybeSample()
+		openStart = sampled
+		if batchTraced && openStart.IsZero() {
+			openStart = time.Now()
+		}
 	}
 	delivered, maxUse := 0, 0
+	var lastCtx trace.Ctx
+	var lastEnq int64
 	var firstErr error
 	fail := func(err error) {
 		if firstErr == nil {
@@ -559,6 +769,19 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 				continue
 			}
 			payload = plain
+			if e.tr != nil {
+				var tctx trace.Ctx
+				payload, tctx = trace.SplitTrailer(payload)
+				if tctx.Traced() {
+					lastCtx = tctx
+					_, _, lastEnq = nodes[i].Trace()
+				}
+			}
+		} else if e.tr != nil {
+			if tid, span, enq := nodes[i].Trace(); tid != 0 {
+				lastCtx = trace.Ctx{TraceID: tid, Span: span}
+				lastEnq = enq
+			}
 		}
 		if len(payload) > len(bufs[delivered]) {
 			fail(fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, len(payload), len(bufs[delivered])))
@@ -567,9 +790,21 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 		lens[delivered] = copy(bufs[delivered], payload)
 		delivered++
 	}
-	if !openStart.IsZero() {
+	if !sampled.IsZero() {
 		// One timed sweep over the burst, attributed per message.
-		e.m.openNs.Observe(uint64(time.Since(openStart)) / uint64(got))
+		e.m.openNs.Observe(uint64(time.Since(sampled)) / uint64(got))
+	}
+	if lastCtx.Traced() {
+		// Batch granularity: one dwell (and crossing/open, when sealed)
+		// for the burst, measured on its most recent traced message and
+		// adopted as the invocation's context. Exact for the sampled
+		// single-message case; an approximation bounded by the burst for
+		// saturated pipelines.
+		if e.cipher != nil {
+			e.traceRecvSealed(lastCtx, lastEnq, openStart)
+		} else {
+			e.traceRecvPlain(lastCtx, lastEnq)
+		}
 	}
 	if err := e.pool.PutBatch(nodes[:got]); err != nil {
 		fail(err)
@@ -598,13 +833,26 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 	}()
 	payload := node.Payload()
 	if e.cipher != nil {
-		openStart := e.maybeSample()
+		// The node's untrusted header hints whether this message is
+		// traced, so armed-but-untraced receives skip the extra clock.
+		hintTraced := false
+		var enq int64
+		if e.tr != nil {
+			var tid uint64
+			tid, _, enq = node.Trace()
+			hintTraced = tid != 0
+		}
+		sampled := e.maybeSample()
+		openStart := sampled
+		if hintTraced && openStart.IsZero() {
+			openStart = time.Now()
+		}
 		plain, openErr := e.cipher.Open(e.scratch[:0], payload, nil)
 		if openErr != nil {
 			return 0, true, openErr
 		}
-		if !openStart.IsZero() {
-			e.m.openNs.ObserveSince(openStart)
+		if !sampled.IsZero() {
+			e.m.openNs.ObserveSince(sampled)
 		}
 		e.scratch = plain
 		e.noteScratchUse(len(plain))
@@ -612,6 +860,20 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 			return 0, true, seqErr
 		}
 		payload = plain
+		if e.tr != nil {
+			// Armed senders always appended a trailer; the authenticated
+			// context inside it — not the untrusted node header — decides
+			// whether this hop is traced.
+			var tctx trace.Ctx
+			payload, tctx = trace.SplitTrailer(payload)
+			if tctx.Traced() {
+				e.traceRecvSealed(tctx, enq, openStart)
+			}
+		}
+	} else if e.tr != nil {
+		if tid, span, enq := node.Trace(); tid != 0 {
+			e.traceRecvPlain(trace.Ctx{TraceID: tid, Span: span}, enq)
+		}
 	}
 	if len(payload) > len(buf) {
 		return 0, true, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, len(payload), len(buf))
@@ -631,18 +893,36 @@ func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
 	e.received.Add(1)
 	e.noteRecv(1)
 	if e.cipher != nil {
-		openStart := e.maybeSample()
+		hintTraced := false
+		var enq int64
+		if e.tr != nil {
+			var tid uint64
+			tid, _, enq = node.Trace()
+			hintTraced = tid != 0
+		}
+		sampled := e.maybeSample()
+		openStart := sampled
+		if hintTraced && openStart.IsZero() {
+			openStart = time.Now()
+		}
 		plain, err := e.cipher.Open(e.scratch[:0], node.Payload(), nil)
 		if err != nil {
 			_ = e.pool.Put(node)
 			return nil, true, err
 		}
-		if !openStart.IsZero() {
-			e.m.openNs.ObserveSince(openStart)
+		if !sampled.IsZero() {
+			e.m.openNs.ObserveSince(sampled)
 		}
 		if seqErr := e.checkSeq(node.Payload()); seqErr != nil {
 			_ = e.pool.Put(node)
 			return nil, true, seqErr
+		}
+		if e.tr != nil {
+			var tctx trace.Ctx
+			plain, tctx = trace.SplitTrailer(plain)
+			if tctx.Traced() {
+				e.traceRecvSealed(tctx, enq, openStart)
+			}
 		}
 		e.scratch = plain
 		e.noteScratchUse(len(plain))
@@ -650,6 +930,10 @@ func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
 		if err := node.SetLen(len(plain)); err != nil {
 			_ = e.pool.Put(node)
 			return nil, true, err
+		}
+	} else if e.tr != nil {
+		if tid, span, enq := node.Trace(); tid != 0 {
+			e.traceRecvPlain(trace.Ctx{TraceID: tid, Span: span}, enq)
 		}
 	}
 	return node, true, nil

@@ -108,6 +108,22 @@ type Config struct {
 	// in events (power of two, telemetry.DefaultRecorderSize when zero).
 	TelemetryRecorderSize int
 
+	// Trace enables sampled causal tracing (internal/trace): ingress
+	// points root 1-in-TraceSampleEvery traces, and every hop of a
+	// sampled message records spans (send, mailbox dwell, seal/open,
+	// enclave crossing, invoke, ...) into per-worker ring buffers.
+	// Independent of Telemetry. Disabled, every site reduces to a nil
+	// check; armed, unsampled messages pay one atomic load per hop.
+	Trace bool
+
+	// TraceSampleEvery roots one trace per this many ingress events
+	// (rounded up to a power of two; trace.DefaultSampleEvery when zero).
+	TraceSampleEvery int
+
+	// TraceBufferSpans is the per-worker span ring size (power-of-two
+	// rounding; trace.DefaultBufferSpans when zero).
+	TraceBufferSpans int
+
 	// Faults arms the deterministic fault injector on every hook site of
 	// this deployment: channel sends/receives, enclave crossings, sealing,
 	// body invocations (and, via sgx.Platform.AttachFaults, the platform
@@ -211,6 +227,9 @@ func (c *Config) validate() error {
 	}
 	if c.TelemetryRecorderSize < 0 {
 		return fmt.Errorf("core: negative telemetry recorder size")
+	}
+	if c.TraceSampleEvery < 0 || c.TraceBufferSpans < 0 {
+		return fmt.Errorf("core: negative trace configuration")
 	}
 	return nil
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/eactors/eactors-go/internal/telemetry"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // MonitorSpec returns the MONITOR system eactor: a query/response service
@@ -28,6 +30,10 @@ import (
 //	dump <worker>  worker <worker>'s flight recorder, oldest first
 //	dump <actor>   the dump captured when <actor>'s body last panicked
 //	               (kept after a supervised restart)
+//	trace          the most recent sampled traces (up to 3), each as a
+//	               per-hop latency breakdown; needs Config.Trace, not
+//	               Config.Telemetry
+//	trace <n>      up to <n> most recent traces
 //
 // The monitor is an ordinary eactor: place it on a lightly loaded worker
 // and, if its answers must be confidential, inside an enclave (set
@@ -82,12 +88,18 @@ func monitorBody(self *Self) {
 }
 
 func (st *monitorState) answer(self *Self, query string) []byte {
+	var buf bytes.Buffer
+	cmd, arg, _ := strings.Cut(query, " ")
+	if cmd == "trace" {
+		// Tracing is independent of telemetry, so the verb answers even
+		// when the registry is off.
+		writeTraces(&buf, self.Runtime(), strings.TrimSpace(arg))
+		return buf.Bytes()
+	}
 	reg := self.Runtime().Telemetry()
 	if reg == nil {
 		return []byte("error: telemetry disabled (set Config.Telemetry)")
 	}
-	var buf bytes.Buffer
-	cmd, arg, _ := strings.Cut(query, " ")
 	switch cmd {
 	case "stats":
 		reg.WriteSummary(&buf)
@@ -110,7 +122,7 @@ func (st *monitorState) answer(self *Self, query string) []byte {
 	case "dump":
 		st.writeDump(&buf, self, strings.TrimSpace(arg))
 	default:
-		fmt.Fprintf(&buf, "error: unknown query %q (stats|rates|report|dump [worker|actor])", query)
+		fmt.Fprintf(&buf, "error: unknown query %q (stats|rates|report|dump [worker|actor]|trace [n])", query)
 	}
 	return buf.Bytes()
 }
@@ -132,6 +144,75 @@ func (st *monitorState) writeDump(buf *bytes.Buffer, self *Self, arg string) {
 		}
 		fmt.Fprintf(buf, "error: %q is neither a worker index nor an actor that failed", arg)
 	}
+}
+
+// writeTraces renders the tracer's most recent sampled traces as per-hop
+// latency breakdowns, newest first. arg optionally bounds the trace count
+// (default 3 — monitor replies are truncated to MaxPayload, so small
+// defaults keep whole traces intact).
+func writeTraces(buf *bytes.Buffer, rt *Runtime, arg string) {
+	tr := rt.Tracer()
+	if tr == nil {
+		buf.WriteString("error: tracing disabled (set Config.Trace)")
+		return
+	}
+	max := 3
+	if n, err := strconv.Atoi(arg); err == nil && n > 0 {
+		max = n
+	}
+	spans := tr.Snapshot()
+	if len(spans) == 0 {
+		buf.WriteString("no sampled traces recorded yet")
+		return
+	}
+	groups := make(map[uint64][]trace.Span)
+	for _, s := range spans {
+		groups[s.TraceID] = append(groups[s.TraceID], s)
+	}
+	ids := make([]uint64, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	// Newest trace first, where "newest" is the earliest span's start —
+	// torn ring slots can carry garbage timestamps, but they only mis-rank
+	// their own trace.
+	sort.Slice(ids, func(i, j int) bool {
+		return traceStart(groups[ids[i]]) > traceStart(groups[ids[j]])
+	})
+	if len(ids) > max {
+		ids = ids[:max]
+	}
+	for _, id := range ids {
+		ss := groups[id]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		root := ss[0].Start
+		var end int64
+		for _, s := range ss {
+			if e := s.Start + s.Dur; e > end {
+				end = e
+			}
+		}
+		fmt.Fprintf(buf, "trace %d spans=%d total=%s\n", id, len(ss), time.Duration(end-root))
+		for _, s := range ss {
+			name := s.Kind.String()
+			if rn := tr.RefName(s.Kind, s.Ref); rn != "" {
+				name += " " + rn
+			}
+			fmt.Fprintf(buf, "  +%-12s %-28s worker=%-2d dur=%s\n",
+				time.Duration(s.Start-root), name, s.Worker, time.Duration(s.Dur))
+		}
+	}
+}
+
+// traceStart returns a trace group's earliest span start.
+func traceStart(ss []trace.Span) int64 {
+	start := ss[0].Start
+	for _, s := range ss[1:] {
+		if s.Start < start {
+			start = s.Start
+		}
+	}
+	return start
 }
 
 // writeReport renders a Report in the monitor's line-oriented text form.

@@ -10,6 +10,7 @@ import (
 	"github.com/eactors/eactors-go/internal/mem"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // Runtime realises a Config: it creates the enclaves, preallocates the
@@ -37,6 +38,9 @@ type Runtime struct {
 	// Config.Telemetry was set.
 	tel *telemetry.Registry
 	m   *metrics
+
+	// tr is the causal tracer; nil unless Config.Trace was set.
+	tr *trace.Tracer
 
 	// flt is the fault injector (Config.Faults); nil in production.
 	flt *faults.Injector
@@ -129,6 +133,9 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		rt.m = newMetrics(rt.tel, len(cfg.Workers))
 		platform.AttachTelemetry(rt.tel)
 	}
+	if cfg.Trace {
+		rt.tr = trace.New(len(cfg.Workers), cfg.TraceBufferSpans, cfg.TraceSampleEvery)
+	}
 	if cfg.Faults != nil {
 		rt.flt = cfg.Faults
 		platform.AttachFaults(cfg.Faults)
@@ -183,6 +190,7 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 			inst.enclave = rt.enclaves[spec.Enclave]
 		}
 		rt.actors[spec.Name] = inst
+		rt.tr.NameActor(inst.tag, spec.Name)
 	}
 
 	// Workers, with their actors in declaration order so that co-located
@@ -212,6 +220,12 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 			rt.workers[i].m = rt.m
 			rt.workers[i].rec = rt.tel.Recorder(i)
 			rt.workers[i].ctx.AttachTelemetry(i, rt.workers[i].rec)
+		}
+		if rt.tr != nil {
+			rt.workers[i].tr = rt.tr
+			// Crossing capture lets a traced invocation claim the enclave
+			// transition that preceded it.
+			rt.workers[i].ctx.ArmCrossCapture()
 		}
 		rt.workers[i].inj = rt.flt
 	}
@@ -269,6 +283,11 @@ func (rt *Runtime) buildChannel(cs ChannelSpec) error {
 	ch := &Channel{name: cs.Name, a: cs.A, b: cs.B, encrypted: encrypted, ab: ab, ba: ba, tag: uint32(len(rt.channels))}
 	epA := &Endpoint{ch: ch, out: ab, in: ba, pool: pool, peerWake: instB.worker.Wake, inj: rt.flt}
 	epB := &Endpoint{ch: ch, out: ba, in: ab, pool: pool, peerWake: instA.worker.Wake, inj: rt.flt}
+	if rt.tr != nil {
+		rt.tr.NameChannel(ch.tag, cs.Name)
+		epA.tr, epA.scope, epA.owner = rt.tr, &instA.scope, instA.spec.Worker
+		epB.tr, epB.scope, epB.owner = rt.tr, &instB.scope, instB.spec.Worker
+	}
 	if rt.m != nil {
 		// Endpoints are single-owner (their actor's worker), so each
 		// carries its owner's shard index and flight recorder; the
@@ -381,6 +400,22 @@ func (rt *Runtime) EndpointForTest(actor, channel string) (*Endpoint, error) {
 // Runtime.EndpointForTest.
 func EndpointForTest(rt *Runtime, actor, channel string) (*Endpoint, error) {
 	return rt.EndpointForTest(actor, channel)
+}
+
+// Tracer returns the causal tracer, or nil (a valid no-op receiver)
+// when Config.Trace is off.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tr }
+
+// ScopeForTest returns an actor's trace scope so external drivers (the
+// same test harnesses EndpointForTest serves) can root and adopt trace
+// contexts on behalf of an idle actor. The scope is atomic, so this is
+// race-clean even against the owning worker.
+func (rt *Runtime) ScopeForTest(actor string) (*trace.Scope, error) {
+	inst, ok := rt.actors[actor]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown actor %q", actor)
+	}
+	return &inst.scope, nil
 }
 
 // Workers returns the runtime's workers.

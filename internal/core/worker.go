@@ -8,6 +8,7 @@ import (
 	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // Worker executes a set of eactors round-robin on a dedicated OS thread
@@ -39,6 +40,11 @@ type Worker struct {
 	// recorder; both nil unless Config.Telemetry was set.
 	m   *metrics
 	rec *telemetry.Recorder
+
+	// tr is the runtime's causal tracer; nil unless Config.Trace was
+	// set. The worker clears each actor's scope before invoking it and
+	// records invoke/crossing spans for traced invocations.
+	tr *trace.Tracer
 
 	// inj is the runtime's fault injector (Config.Faults); nil in
 	// production. The worker consults it at the invoke site.
@@ -77,7 +83,7 @@ func (w *Worker) Actors() []string {
 // one eactor/enclave must not take the rest of the application down, so
 // the worker contains the blast radius and keeps scheduling its other
 // eactors.
-func (w *Worker) invoke(a *actorInstance) {
+func (w *Worker) invoke(a *actorInstance, crossed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			// The failure text must be in place before the flag flips,
@@ -112,22 +118,50 @@ func (w *Worker) invoke(a *actorInstance) {
 			w.rt.actorFailed(a.spec.Name)
 		}
 	}()
-	if w.m == nil {
+	if w.tr != nil {
+		// Fresh invocation, fresh causality: the scope only carries a
+		// trace while the body that adopted it is on the stack.
+		a.scope.Clear()
+	}
+	if w.m == nil && w.tr == nil {
 		a.spec.Body(a.self)
 		return
 	}
 	start := time.Now()
 	a.spec.Body(a.self)
 	elapsed := uint64(time.Since(start))
-	w.m.invocations.Inc(w.id)
-	w.m.invokeNs[w.id].Observe(elapsed)
-	w.rec.Record(telemetry.EvInvoke, a.tag, elapsed)
-	if a.self.drainLeft == 0 && w.drainBudget > 0 {
-		// The body consumed its entire RecvBatch allowance: a flooded
-		// mailbox. Frequent exhaustion is the signal to raise
-		// Config.DrainBudget (or add workers).
-		w.m.drainExhaust.Inc(w.id)
-		w.rec.Record(telemetry.EvDrainExhaust, a.tag, uint64(w.drainBudget))
+	if w.m != nil {
+		w.m.invocations.Inc(w.id)
+		w.m.invokeNs[w.id].Observe(elapsed)
+		w.rec.Record(telemetry.EvInvoke, a.tag, elapsed)
+		if a.self.drainLeft == 0 && w.drainBudget > 0 {
+			// The body consumed its entire RecvBatch allowance: a flooded
+			// mailbox. Frequent exhaustion is the signal to raise
+			// Config.DrainBudget (or add workers).
+			w.m.drainExhaust.Inc(w.id)
+			w.rec.Record(telemetry.EvDrainExhaust, a.tag, uint64(w.drainBudget))
+		}
+	}
+	if w.tr != nil {
+		if c := a.scope.Active(); c.Traced() {
+			w.tr.Record(w.id, trace.Span{
+				TraceID: c.TraceID, ID: w.tr.NextSpan(), Parent: c.Span,
+				Kind: trace.KindInvoke, Ref: a.tag,
+				Start: start.UnixNano(), Dur: int64(elapsed),
+			})
+			if crossed {
+				// The worker paid an enclave transition to run this body;
+				// retro-attribute it now that we know the invocation was
+				// traced (the crossing happened before the scope existed).
+				if cs, cd := w.ctx.LastCrossing(); cs != 0 {
+					w.tr.Record(w.id, trace.Span{
+						TraceID: c.TraceID, ID: w.tr.NextSpan(), Parent: c.Span,
+						Kind: trace.KindCrossing, Ref: a.tag,
+						Start: cs, Dur: cd,
+					})
+				}
+			}
+		}
 	}
 }
 
@@ -286,11 +320,24 @@ func (w *Worker) run() {
 				}
 				restarting = true
 			}
-			if a.enclave != nil {
+			crossed := false
+			if w.tr != nil {
+				// Track whether this placement move pays a transition, so
+				// a traced invocation can claim the crossing span.
+				pre := w.ctx.Crossings()
+				if a.enclave != nil {
+					if err := w.ctx.Enter(a.enclave); err != nil {
+						// Configuration was validated at startup; an enter
+						// failure means the enclave was destroyed underneath
+						// us, so park this actor.
+						continue
+					}
+				} else {
+					w.ctx.Exit()
+				}
+				crossed = w.ctx.Crossings() != pre
+			} else if a.enclave != nil {
 				if err := w.ctx.Enter(a.enclave); err != nil {
-					// Configuration was validated at startup; an enter
-					// failure means the enclave was destroyed underneath
-					// us, so park this actor.
 					continue
 				}
 			} else {
@@ -311,7 +358,7 @@ func (w *Worker) run() {
 			}
 			a.self.progressed = false
 			a.self.drainLeft = w.drainBudget
-			w.invoke(a)
+			w.invoke(a, crossed)
 			if a.self.progressed {
 				progressed = true
 			}

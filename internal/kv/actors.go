@@ -6,6 +6,7 @@ import (
 	"github.com/eactors/eactors-go/internal/core"
 	"github.com/eactors/eactors-go/internal/netactors"
 	"github.com/eactors/eactors-go/internal/pos"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // maxPendingFrames bounds each retry queue before frames are dropped
@@ -300,7 +301,7 @@ func (srv *Server) storeSpec(opts Options, i, worker int, enclave string) core.S
 					continue
 				}
 				self.Progress()
-				resp := srv.execute(request)
+				resp := srv.execute(self, uint32(i), request)
 				buf, err := resp.AppendTo(st.respBuf[:0])
 				if err != nil {
 					continue
@@ -318,7 +319,10 @@ func (srv *Server) storeSpec(opts Options, i, worker int, enclave string) core.S
 			if n > 0 && syncPerBurst {
 				// Per-burst write-back: one batched Sync amortised over
 				// the whole drained burst.
+				tr := self.Tracer()
+				start := tr.Begin(self.TraceScope())
 				_ = srv.store.Flush()
+				tr.End(self.WorkerID(), self.TraceScope(), trace.KindPOSSync, uint32(i), start)
 			}
 			srv.flushWrites(st, write)
 		},
@@ -344,12 +348,19 @@ func (srv *Server) flushWrites(st *storeState, write *core.Endpoint) {
 	st.stage.Reset()
 }
 
-// execute runs one request against the sharded store.
-func (srv *Server) execute(req Request) Response {
+// execute runs one request against the sharded store. The POS spans it
+// records (ref = the executing shard; key affinity makes that the only
+// shard touched) time the store operation alone — mutations count as
+// KindPOSSet whether they insert or delete.
+func (srv *Server) execute(self *core.Self, shard uint32, req Request) Response {
+	tr := self.Tracer()
+	sc := self.TraceScope()
 	switch req.Op {
 	case OpGet:
 		srv.gets.Add(1)
+		start := tr.Begin(sc)
 		val, ok, err := srv.store.Get(req.Key)
+		tr.End(self.WorkerID(), sc, trace.KindPOSGet, shard, start)
 		if err != nil {
 			srv.errs.Add(1)
 			return Response{Status: StatusErr, ID: req.ID, Val: []byte(err.Error())}
@@ -361,14 +372,19 @@ func (srv *Server) execute(req Request) Response {
 		return Response{Status: StatusValue, ID: req.ID, Val: val}
 	case OpSet:
 		srv.sets.Add(1)
-		if err := srv.store.Set(req.Key, req.Val); err != nil {
+		start := tr.Begin(sc)
+		err := srv.store.Set(req.Key, req.Val)
+		tr.End(self.WorkerID(), sc, trace.KindPOSSet, shard, start)
+		if err != nil {
 			srv.errs.Add(1)
 			return Response{Status: StatusErr, ID: req.ID, Val: []byte(err.Error())}
 		}
 		return Response{Status: StatusOK, ID: req.ID}
 	case OpDel:
 		srv.dels.Add(1)
+		start := tr.Begin(sc)
 		found, err := srv.store.Delete(req.Key)
+		tr.End(self.WorkerID(), sc, trace.KindPOSSet, shard, start)
 		if err != nil {
 			srv.errs.Add(1)
 			return Response{Status: StatusErr, ID: req.ID, Val: []byte(err.Error())}

@@ -12,6 +12,7 @@ import (
 	"github.com/eactors/eactors-go/internal/pos"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // Options configures the KV service deployment. Like the XMPP server,
@@ -51,6 +52,11 @@ type Options struct {
 	MaxBatch int
 	// Telemetry enables the runtime observability subsystem.
 	Telemetry bool
+	// Trace enables sampled causal tracing (independent of Telemetry).
+	Trace bool
+	// TraceSampleEvery roots one trace per this many inbound bursts
+	// (trace.DefaultSampleEvery when zero).
+	TraceSampleEvery int
 	// Faults arms the runtime's deterministic fault injector; nil in
 	// production.
 	Faults *faults.Injector
@@ -89,6 +95,10 @@ func (s *Server) Store() *pos.ShardedStore { return s.store }
 // Telemetry returns the runtime's telemetry registry, or nil when
 // Options.Telemetry was not set.
 func (s *Server) Telemetry() *telemetry.Registry { return s.rt.Telemetry() }
+
+// Tracer returns the runtime's causal tracer, or nil when Options.Trace
+// was not set.
+func (s *Server) Tracer() *trace.Tracer { return s.rt.Tracer() }
 
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() Stats {
@@ -198,10 +208,12 @@ func (srv *Server) buildConfig(opts Options) (core.Config, chan string) {
 	addrCh := make(chan string, 1)
 
 	cfg := core.Config{
-		PoolNodes:   opts.PoolNodes,
-		NodePayload: opts.NodePayload,
-		Telemetry:   opts.Telemetry,
-		Faults:      opts.Faults,
+		PoolNodes:        opts.PoolNodes,
+		NodePayload:      opts.NodePayload,
+		Telemetry:        opts.Telemetry,
+		Trace:            opts.Trace,
+		TraceSampleEvery: opts.TraceSampleEvery,
+		Faults:           opts.Faults,
 	}
 	cfg.Workers = make([]core.WorkerSpec, 2+shards)
 	frontWorker, netWorker := 0, 1

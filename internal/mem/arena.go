@@ -26,7 +26,33 @@ type Node struct {
 	next  atomic.Uint32 // freelist link: index+1 encoding, 0 = nil
 	size  int           // used payload length
 	buf   []byte        // fixed-capacity payload backing
+
+	// Reserved trace header: set by a traced sender before enqueue, read
+	// by the receiver after dequeue. Plain fields — the mbox sequence
+	// atomics order the hand-off (same happens-before argument as size),
+	// and traceID zero means untraced.
+	traceID   uint64
+	traceSpan uint32
+	traceEnq  int64 // UnixNano enqueue timestamp for dwell spans
 }
+
+// SetTrace stamps the node's trace header: the owning trace, the
+// sender's span (the receiver's parent) and the enqueue timestamp.
+func (n *Node) SetTrace(traceID uint64, span uint32, enqNS int64) {
+	n.traceID = traceID
+	n.traceSpan = span
+	n.traceEnq = enqNS
+}
+
+// Trace reads the node's trace header; traceID zero means untraced.
+func (n *Node) Trace() (traceID uint64, span uint32, enqNS int64) {
+	return n.traceID, n.traceSpan, n.traceEnq
+}
+
+// ClearTrace marks the node untraced. Only the trace ID is cleared —
+// zero is the whole "untraced" contract — keeping the armed-but-
+// unsampled send path to a single store.
+func (n *Node) ClearTrace() { n.traceID = 0 }
 
 // Index returns the node's arena slot (stable for the node's lifetime).
 func (n *Node) Index() uint32 { return n.index }

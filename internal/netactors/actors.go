@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // dialTimeout bounds OPENER dial attempts.
@@ -192,6 +193,7 @@ type readWatch struct {
 	ep      *core.Endpoint
 	sock    *Socket
 	pending [][]byte // encoded frames that hit a full channel, retried first
+	tick    uint32   // per-socket trace sampling counter (trace.MaybeRoot)
 }
 
 // ReaderSpec builds the READER eactor: clients watch connection sockets
@@ -270,6 +272,22 @@ func (s *System) drainSocket(self *core.Self, w *readWatch, stage *core.SendStag
 		w.pending = w.pending[n:]
 	}
 	w.pending = nil
+	// The READER is the wire ingress, so this is where sampled traces
+	// are rooted: 1-in-SampleEvery inbound bursts get a fresh trace whose
+	// root span (KindNetRead) covers the drain and the forwarding send.
+	// The context is adopted into the actor scope so SendBatch stamps it
+	// into the outgoing frames, then cleared — causality travels with the
+	// message, not the READER.
+	tr := self.Tracer()
+	var netCtx trace.Ctx
+	var drainStart time.Time
+	if tr != nil && len(w.sock.inbox) > 0 {
+		if ctx, ok := tr.MaybeRoot(&w.tick); ok {
+			ctx.Span = tr.NextSpan()
+			netCtx = ctx
+			drainStart = time.Now()
+		}
+	}
 	maxChunk := MaxData(w.ep.MaxPayload())
 	stage.Reset()
 	for stage.Len() < drainBatch {
@@ -296,7 +314,18 @@ func (s *System) drainSocket(self *core.Self, w *readWatch, stage *core.SendStag
 		}
 	}
 	if stage.Len() > 0 {
+		if netCtx.Traced() {
+			self.TraceScope().Adopt(netCtx)
+		}
 		n, _ := w.ep.SendBatch(stage.Frames()) //sendcheck:ok
+		if netCtx.Traced() {
+			tr.Record(self.WorkerID(), trace.Span{
+				TraceID: netCtx.TraceID, ID: netCtx.Span,
+				Kind: trace.KindNetRead, Ref: w.sock.id,
+				Start: drainStart.UnixNano(), Dur: int64(time.Since(drainStart)),
+			})
+			self.TraceScope().Clear()
+		}
 		if n > 0 {
 			self.Progress()
 		}
@@ -342,6 +371,8 @@ func (s *System) WriterSpec(name string, worker int, channels ...string) core.Sp
 			return nil
 		},
 		Body: func(self *core.Self) {
+			tr := self.Tracer()
+			sc := self.TraceScope()
 			for _, ep := range eps {
 				n, _ := self.RecvBatch(ep, recvBufs, recvLens)
 				for i := 0; i < n; i++ {
@@ -351,7 +382,11 @@ func (s *System) WriterSpec(name string, worker int, channels ...string) core.Sp
 					}
 					switch msg.Type {
 					case MsgData:
+						// The terminal hop of a traced request: the span's
+						// duration is the socket write syscall itself.
+						start := tr.Begin(sc)
 						_ = table.Write(msg.Sock, msg.Data) // peer EOF surfaces via READER
+						tr.End(self.WorkerID(), sc, trace.KindNetWrite, msg.Sock, start)
 					case MsgClose:
 						_ = table.Close(msg.Sock)
 					}

@@ -3,6 +3,7 @@ package sgx
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/telemetry"
@@ -27,6 +28,13 @@ type Context struct {
 	// traces each crossing as an EvCrossing flight-recorder event.
 	shard int
 	rec   *telemetry.Recorder
+
+	// Crossing capture for causal tracing (ArmCrossCapture): the wall
+	// start and duration of the most recent crossing, retro-attributed
+	// to a traced invocation by the worker after the fact.
+	captureCross bool
+	lastCrossNS  int64
+	lastCrossDur int64
 }
 
 // NewContext returns a context starting in the untrusted application.
@@ -86,8 +94,25 @@ func (c *Context) Exit() {
 	_ = c.MoveTo(Untrusted)
 }
 
+// ArmCrossCapture makes the context remember the wall-clock start and
+// duration of each crossing so a tracing worker can attribute the
+// transition that preceded a traced invocation. Off by default: the
+// capture costs one time.Now per crossing.
+func (c *Context) ArmCrossCapture() { c.captureCross = true }
+
+// LastCrossing returns the wall start (UnixNano) and duration of the
+// most recent crossing, or zeros when capture is off or nothing has
+// crossed yet.
+func (c *Context) LastCrossing() (startNS, durNS int64) {
+	return c.lastCrossNS, c.lastCrossDur
+}
+
 func (c *Context) cross(site faults.Site) {
 	c.crossings++
+	var wallStart time.Time
+	if c.captureCross {
+		wallStart = time.Now()
+	}
 	d := c.platform.chargeCrossing()
 	if inj := c.platform.flt.Load(); inj != nil {
 		// Injected crossing faults: delayed transitions and transient
@@ -97,5 +122,11 @@ func (c *Context) cross(site faults.Site) {
 	if c.rec != nil {
 		// ID is the domain crossed out of / into (c.cur at call time).
 		c.rec.Record(telemetry.EvCrossing, uint32(c.cur), uint64(d))
+	}
+	if c.captureCross {
+		// Wall duration, so injected delays and EPC spikes show up in
+		// the crossing span just as they do in real latency.
+		c.lastCrossNS = wallStart.UnixNano()
+		c.lastCrossDur = int64(time.Since(wallStart))
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"net/http/pprof"
 	"strings"
 	"time"
+
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // splitName separates an optional label set embedded in a registered
@@ -93,16 +95,41 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	)
 }
 
+// ServeOption customises Handler and Serve.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	tracer *trace.Tracer
+}
+
+// WithTraces mounts /debug/traces on the handler: a snapshot of the
+// tracer's sampled spans in Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto. A nil tracer serves an empty trace, so
+// callers can pass Server.Tracer() unconditionally.
+func WithTraces(t *trace.Tracer) ServeOption {
+	return func(c *serveConfig) { c.tracer = t }
+}
+
 // Handler returns an HTTP handler exposing the registry:
 //
 //	/metrics        Prometheus text format
 //	/dump           flight-recorder dumps (all workers, relative time)
+//	/debug/traces   sampled causal traces, Chrome trace-event JSON
+//	                (with WithTraces)
 //	/debug/pprof/*  the standard Go profiles
 //
 // It deliberately avoids http.DefaultServeMux so embedding applications
 // keep control of their own mux.
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry, opts ...ServeOption) http.Handler {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.tracer.WriteChrome(w)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
@@ -128,12 +155,12 @@ func Handler(r *Registry) http.Handler {
 
 // Serve binds addr and serves Handler(r) on it until the returned stop
 // function is called. It returns the bound address (useful with ":0").
-func Serve(addr string, r *Registry) (bound string, stop func(), err error) {
+func Serve(addr string, r *Registry, opts ...ServeOption) (bound string, stop func(), err error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(r, opts...), ReadHeaderTimeout: 5 * time.Second}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteChrome serializes a snapshot of the tracer's spans as Chrome
+// trace-event JSON (the format chrome://tracing and Perfetto both
+// load): an object with a traceEvents array of "X" (complete) events.
+// Timestamps and durations are microseconds; tid is the recording
+// worker so each worker gets its own track; the trace/span/parent
+// identifiers ride in args so tools can rebuild causality.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return writeChrome(w, t.Snapshot(), t)
+}
+
+// WriteChromeSpans serializes an explicit span set (e.g. one filtered
+// to a single trace) in the same format. names may be nil.
+func WriteChromeSpans(w io.Writer, spans []Span, names *Tracer) error {
+	return writeChrome(w, spans, names)
+}
+
+func writeChrome(w io.Writer, spans []Span, names *Tracer) error {
+	// Stable output: by trace, then by start time.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].TraceID != spans[j].TraceID {
+			return spans[i].TraceID < spans[j].TraceID
+		}
+		return spans[i].Start < spans[j].Start
+	})
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name := s.Kind.String()
+		if rn := names.RefName(s.Kind, s.Ref); rn != "" {
+			name += " " + rn
+		}
+		// Clamp: a torn slot could hold garbage, and a negative value
+		// would render an invalid JSON number with %d.%03d.
+		dur, start := s.Dur, s.Start
+		if dur < 0 {
+			dur = 0
+		}
+		if start < 0 {
+			start = 0
+		}
+		fmt.Fprintf(&b,
+			`{"name":%q,"cat":%q,"ph":"X","ts":%d.%03d,"dur":%d.%03d,"pid":1,"tid":%d,`+
+				`"args":{"trace":%d,"span":%d,"parent":%d,"ref":%d}}`,
+			name, s.Kind.String(),
+			start/1000, start%1000, dur/1000, dur%1000,
+			s.Worker+1, // tid 0 renders poorly; system buffer (-1) maps to 0
+			s.TraceID, s.ID, s.Parent, s.Ref)
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceHeader feeds arbitrary bytes to the header decode and the
+// trailer split. The contract under attack: malformed input — and on
+// armed encrypted channels the header rides inside untrusted-visible
+// frames, so "malformed" includes "adversarial" — must degrade to an
+// untraced context, never panic, and never corrupt the payload bytes
+// handed back to the application.
+func FuzzTraceHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize-1))
+	f.Add(make([]byte, HeaderSize))
+	f.Add(AppendHeader(nil, Ctx{TraceID: 1, Span: 2}))
+	f.Add(AppendHeader([]byte("payload"), Ctx{TraceID: 1<<64 - 1, Span: 1<<32 - 1}))
+	f.Add(AppendHeader([]byte("payload"), Ctx{}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, ok := DecodeHeader(data)
+		if ok != c.Traced() && ok && c.TraceID == 0 {
+			// A valid header may legitimately carry trace ID zero
+			// (untraced sentinel); nothing more to check.
+			_ = c
+		}
+		if !ok && (c.TraceID != 0 || c.Span != 0) {
+			t.Fatalf("failed decode leaked context %+v", c)
+		}
+
+		payload, sc := SplitTrailer(data)
+		if len(payload) > len(data) {
+			t.Fatalf("split grew payload: %d > %d", len(payload), len(data))
+		}
+		if !bytes.Equal(payload, data[:len(payload)]) {
+			t.Fatal("split corrupted payload prefix")
+		}
+		// A stripped trailer must re-encode to the exact stripped bytes.
+		if len(payload) == len(data)-HeaderSize {
+			re := AppendHeader(nil, sc)
+			if !bytes.Equal(re, data[len(payload):]) {
+				t.Fatalf("trailer %x re-encodes to %x", data[len(payload):], re)
+			}
+		} else if len(payload) != len(data) {
+			t.Fatalf("split removed %d bytes, want 0 or %d", len(data)-len(payload), HeaderSize)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/eactors/eactors-go/internal/pos"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
+	"github.com/eactors/eactors-go/internal/trace"
 )
 
 // Options configures the EActors XMPP service deployment. As in the
@@ -55,6 +56,13 @@ type Options struct {
 	// per-worker flight recorders. Export via Server.Telemetry — e.g.
 	// telemetry.Serve for the Prometheus/pprof endpoint.
 	Telemetry bool
+	// Trace enables sampled causal tracing (core.Config.Trace),
+	// independent of Telemetry. Export via Server.Tracer — e.g.
+	// telemetry.WithTraces for the /debug/traces endpoint.
+	Trace bool
+	// TraceSampleEvery roots one trace per this many inbound bursts
+	// (trace.DefaultSampleEvery when zero).
+	TraceSampleEvery int
 	// Faults arms the runtime's deterministic fault injector
 	// (core.Config.Faults) for chaos testing; nil in production.
 	Faults *faults.Injector
@@ -104,6 +112,10 @@ func (s *Server) Runtime() *core.Runtime { return s.rt }
 // Telemetry returns the runtime's telemetry registry, or nil when
 // Options.Telemetry was not set.
 func (s *Server) Telemetry() *telemetry.Registry { return s.rt.Telemetry() }
+
+// Tracer returns the runtime's causal tracer, or nil when Options.Trace
+// was not set.
+func (s *Server) Tracer() *trace.Tracer { return s.rt.Tracer() }
 
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() Stats {
@@ -230,10 +242,12 @@ func (srv *Server) buildConfig(opts Options, enclaveCount int) (core.Config, cha
 	addrCh := make(chan string, 1)
 
 	cfg := core.Config{
-		PoolNodes:   opts.PoolNodes,
-		NodePayload: opts.NodePayload,
-		Telemetry:   opts.Telemetry,
-		Faults:      opts.Faults,
+		PoolNodes:        opts.PoolNodes,
+		NodePayload:      opts.NodePayload,
+		Telemetry:        opts.Telemetry,
+		Trace:            opts.Trace,
+		TraceSampleEvery: opts.TraceSampleEvery,
+		Faults:           opts.Faults,
 	}
 
 	// Workers: 0 = connector, 1 = connector networking, then per shard a

@@ -7,6 +7,7 @@ import (
 	"github.com/eactors/eactors-go/internal/core"
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/netactors"
+	"github.com/eactors/eactors-go/internal/trace"
 	"github.com/eactors/eactors-go/internal/xmpp/stanza"
 )
 
@@ -179,6 +180,8 @@ func (srv *Server) shardHandoff(self *core.Self, st *shardState, read *core.Endp
 // shardDrainSession processes every complete stanza a session has
 // buffered.
 func (srv *Server) shardDrainSession(self *core.Self, st *shardState, sess *session, write, closeCh *core.Endpoint) {
+	tr := self.Tracer()
+	sc := self.TraceScope()
 	for {
 		el, ok, err := sess.scanner.Next()
 		if err != nil {
@@ -193,6 +196,7 @@ func (srv *Server) shardDrainSession(self *core.Self, st *shardState, sess *sess
 		if srv.routeNs != nil {
 			routeStart = time.Now()
 		}
+		spanStart := tr.Begin(sc)
 		switch {
 		case el.Kind == stanza.KindStreamEnd:
 			srv.shardDisconnect(st, closeCh, sess.sock, true)
@@ -209,6 +213,9 @@ func (srv *Server) shardDrainSession(self *core.Self, st *shardState, sess *sess
 			srv.handleIQ(st, sess, &el, write)
 		}
 		srv.routeNs.ObserveSince(routeStart)
+		// The routing decision plus delivery staging, attributed to the
+		// inbound socket that produced the stanza.
+		tr.End(self.WorkerID(), sc, trace.KindRoute, sess.sock, spanStart)
 	}
 }
 
