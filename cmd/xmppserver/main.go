@@ -35,6 +35,7 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:5222", "TCP listen address")
 	shards := flag.Int("shards", 1, "number of XMPP eactors")
 	trusted := flag.Bool("trusted", true, "run CONNECTOR and XMPP eactors inside enclaves")
+	switchless := flag.Bool("switchless", false, "service encrypted channels with switchless proxy workers (needs -trusted)")
 	enclaves := flag.Int("enclaves", 1, "number of enclaves hosting the XMPP eactors (when trusted)")
 	rooms := flag.String("rooms", "", "comma-separated group chats confined to dedicated enclaves")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
@@ -66,6 +67,7 @@ func run() error {
 		ListenAddr:       *listen,
 		Shards:           *shards,
 		Trusted:          *trusted,
+		Switchless:       *switchless,
 		EnclaveCount:     *enclaves,
 		DedicatedRooms:   dedicated,
 		DirectoryStore:   dirStore,
@@ -77,8 +79,8 @@ func run() error {
 		return err
 	}
 	defer srv.Stop()
-	fmt.Printf("xmppserver: listening on %s (shards=%d trusted=%v enclaves=%d)\n",
-		srv.Addr(), *shards, *trusted, *enclaves)
+	fmt.Printf("xmppserver: listening on %s (shards=%d trusted=%v enclaves=%d switchless=%v)\n",
+		srv.Addr(), *shards, *trusted, *enclaves, *switchless && *trusted)
 	if *metrics != "" {
 		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
 		if err != nil {

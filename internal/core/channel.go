@@ -137,6 +137,14 @@ type Endpoint struct {
 	scope *trace.Scope
 	owner int
 
+	// Switchless mode (Config.Switchless, encrypted channels only):
+	// sw is this endpoint's egress direction — sends post plain records
+	// onto its call ring instead of sealing here — and swRx its ingress
+	// direction — receives pop already-opened records off its rx ring.
+	// Both nil on blocking channels; see switchless.go.
+	sw   *swDir
+	swRx *swDir
+
 	sent         atomic.Uint64
 	received     atomic.Uint64
 	sendFailures atomic.Uint64
@@ -169,6 +177,11 @@ func (e *Endpoint) MaxPayload() int {
 		capacity -= ecrypto.Overhead
 		if e.tr != nil {
 			capacity -= trace.HeaderSize
+		}
+		if e.sw != nil {
+			// Switchless frames are segments; every record carries a
+			// length prefix inside the sealed run.
+			capacity -= segHdr
 		}
 	}
 	return capacity
@@ -394,6 +407,9 @@ func (e *Endpoint) Send(payload []byte) error {
 		e.sendFailures.Add(1)
 		return ErrMailboxFull
 	}
+	if e.sw != nil {
+		return e.sendPayloadSwitchless(payload, act)
+	}
 	start := e.maybeSample()
 	tctx, tparent, tstart := e.traceSendStart()
 	node := e.pool.Get()
@@ -522,6 +538,14 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 		e.sendFailures.Add(1)
 		return ErrMailboxFull
 	}
+	if e.sw != nil {
+		if node.Len() > e.MaxPayload() {
+			return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, node.Len(), e.MaxPayload())
+		}
+		start := e.maybeSample()
+		tctx, tparent, tstart := e.traceSendStart()
+		return e.sendSwitchless(node, act, start, tctx, tparent, tstart)
+	}
 	start := e.maybeSample()
 	tctx, tparent, tstart := e.traceSendStart()
 	if e.cipher != nil {
@@ -617,6 +641,16 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		e.sendFailures.Add(1)
 		return 0, ErrMailboxFull
 	}
+	if e.sw != nil {
+		// Ring posts are already the amortised path — the proxy batches
+		// the whole burst into coalesced segments behind us.
+		for i, p := range payloads {
+			if err := e.sendPayloadSwitchless(p, act); err != nil {
+				return i, err
+			}
+		}
+		return len(payloads), nil
+	}
 	start := e.maybeSample()
 	tctx, tparent, tstart := e.traceSendStart()
 	nodes := e.nodeSlots(len(payloads))
@@ -705,6 +739,9 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 // delivered (compacted towards the front of bufs) and the first error
 // is returned.
 func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
+	if e.swRx != nil {
+		return e.recvBatchSwitchless(bufs, lens)
+	}
 	want := len(bufs)
 	if len(lens) < want {
 		want = len(lens)
@@ -819,6 +856,9 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 // ok is false when no message is pending. On encrypted channels the
 // payload is authenticated and decrypted before the copy.
 func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
+	if e.swRx != nil {
+		return e.recvSwitchless(buf)
+	}
 	node, ok := e.in.Dequeue()
 	if !ok {
 		return 0, false, nil
@@ -885,6 +925,10 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 // place on encrypted channels). The caller owns the node and must return
 // it with Release (or forward it with SendNode on a plaintext channel).
 func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
+	if e.swRx != nil {
+		node, ok := e.recvSwitchlessNode()
+		return node, ok, nil
+	}
 	node, ok := e.in.Dequeue()
 	if !ok {
 		return nil, false, nil
@@ -958,4 +1002,11 @@ func (e *Endpoint) Release(node *mem.Node) {
 }
 
 // Pending returns the approximate number of queued inbound messages.
-func (e *Endpoint) Pending() int { return e.in.Len() }
+// On switchless channels that is the opened records waiting in the rx
+// ring plus (an underestimate of) the segments still sealed in transit.
+func (e *Endpoint) Pending() int {
+	if e.swRx != nil {
+		return e.swRx.rx.Len() + e.swRx.sealed.Len()
+	}
+	return e.in.Len()
+}

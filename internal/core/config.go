@@ -27,6 +27,59 @@ const (
 	DefaultDrainBudget = 256
 )
 
+// Switchless defaults (Config.Switchless fields left zero).
+const (
+	// DefaultSwitchlessProxies is the proxy-worker count.
+	DefaultSwitchlessProxies = 1
+	// DefaultSwitchlessSpin is how long an idle proxy busy-polls its
+	// rings before parking on an untrusted event. Long enough to ride
+	// out a scheduling gap between two messages of a burst, short
+	// enough that an idle deployment burns no measurable CPU.
+	DefaultSwitchlessSpin = 50 * time.Microsecond
+	// DefaultSwitchlessSegment caps how many queued records one sealed
+	// segment coalesces. Larger segments amortise the fixed AEAD cost
+	// over more records but delay the first record of a burst.
+	DefaultSwitchlessSegment = 16
+)
+
+// SwitchlessConfig enables switchless channel crossings: encrypted
+// channels stop sealing on the sender's thread and instead post plain
+// records onto per-direction call rings serviced by dedicated proxy
+// workers, which seal queued runs into single segments (one AEAD pass
+// per run), move them across the boundary, and open them into the
+// receiver's ring — the paper's switchless-call optimisation (Section
+// 5.3 / Figure 11), generalised to the channel fast path. Proxies spin
+// a bounded budget when their rings run dry, then park on an
+// sgx.Event; the channel transparently degrades to blocking one-shot
+// crossings (seal/open inline) until load returns.
+type SwitchlessConfig struct {
+	// Enabled turns the mode on for every encrypted channel.
+	Enabled bool
+	// Proxies is the proxy-worker count (DefaultSwitchlessProxies when
+	// zero). Channel directions are assigned round-robin.
+	Proxies int
+	// SpinBudget bounds the idle busy-poll before a proxy parks
+	// (DefaultSwitchlessSpin when zero).
+	SpinBudget time.Duration
+	// RingCapacity is the per-direction call-ring size (power of two;
+	// the channel's mbox capacity when zero).
+	RingCapacity int
+	// SegmentMax caps records per sealed segment
+	// (DefaultSwitchlessSegment when zero; clamped to RingCapacity).
+	SegmentMax int
+}
+
+// proxyCount resolves the configured proxy-worker count.
+func (s SwitchlessConfig) proxyCount() int {
+	if !s.Enabled {
+		return 0
+	}
+	if s.Proxies == 0 {
+		return DefaultSwitchlessProxies
+	}
+	return s.Proxies
+}
+
 // EnclaveSpec declares one enclave of the deployment.
 type EnclaveSpec struct {
 	// Name is the enclave identity referenced by Spec.Enclave.
@@ -123,6 +176,10 @@ type Config struct {
 	// TraceBufferSpans is the per-worker span ring size (power-of-two
 	// rounding; trace.DefaultBufferSpans when zero).
 	TraceBufferSpans int
+
+	// Switchless enables asynchronous call rings with proxy workers on
+	// encrypted channels; see SwitchlessConfig.
+	Switchless SwitchlessConfig
 
 	// Faults arms the deterministic fault injector on every hook site of
 	// this deployment: channel sends/receives, enclave crossings, sealing,
@@ -230,6 +287,12 @@ func (c *Config) validate() error {
 	}
 	if c.TraceSampleEvery < 0 || c.TraceBufferSpans < 0 {
 		return fmt.Errorf("core: negative trace configuration")
+	}
+	if c.Switchless.Proxies < 0 || c.Switchless.SegmentMax < 0 || c.Switchless.SpinBudget < 0 {
+		return fmt.Errorf("core: negative switchless configuration")
+	}
+	if rc := c.Switchless.RingCapacity; rc != 0 && (rc < 2 || rc&(rc-1) != 0) {
+		return fmt.Errorf("core: switchless ring capacity %d is not a power of two", rc)
 	}
 	return nil
 }

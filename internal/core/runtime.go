@@ -42,6 +42,10 @@ type Runtime struct {
 	// tr is the causal tracer; nil unless Config.Trace was set.
 	tr *trace.Tracer
 
+	// sw is the switchless subsystem (proxy workers and call rings);
+	// nil unless Config.Switchless.Enabled was set.
+	sw *switchless
+
 	// flt is the fault injector (Config.Faults); nil in production.
 	flt *faults.Injector
 
@@ -134,7 +138,9 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		platform.AttachTelemetry(rt.tel)
 	}
 	if cfg.Trace {
-		rt.tr = trace.New(len(cfg.Workers), cfg.TraceBufferSpans, cfg.TraceSampleEvery)
+		// Proxy workers record seal/open/crossing spans on rings of
+		// their own, after the worker rings.
+		rt.tr = trace.New(len(cfg.Workers)+cfg.Switchless.proxyCount(), cfg.TraceBufferSpans, cfg.TraceSampleEvery)
 	}
 	if cfg.Faults != nil {
 		rt.flt = cfg.Faults
@@ -247,6 +253,14 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 
 	if rt.tel != nil {
 		rt.registerRuntimeFuncs()
+	}
+
+	// Switchless mode last: its dirs hook into fully built endpoints,
+	// and its proxy goroutines start now so endpoints are serviced even
+	// before Start (test harnesses drive endpoints directly).
+	if err := rt.buildSwitchless(cfg); err != nil {
+		rt.teardownEnclaves()
+		return nil, err
 	}
 	return rt, nil
 }
@@ -489,6 +503,12 @@ func (rt *Runtime) Stop() {
 		for _, w := range rt.workers {
 			<-w.done
 		}
+	}
+	// Proxies stop after the workers: no new ring posts or RunUntrusted
+	// calls can arrive, so their final drain quiesces the rings before
+	// the enclaves go away.
+	if rt.sw != nil {
+		rt.sw.stop()
 	}
 	rt.teardownEnclaves()
 }

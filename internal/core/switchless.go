@@ -1,0 +1,972 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/ecrypto"
+	"github.com/eactors/eactors-go/internal/faults"
+	"github.com/eactors/eactors-go/internal/mem"
+	"github.com/eactors/eactors-go/internal/sgx"
+	"github.com/eactors/eactors-go/internal/trace"
+)
+
+// Switchless channel crossings (Config.Switchless).
+//
+// An encrypted channel direction in switchless mode is a three-stage
+// pipeline over the same preallocated nodes every other path uses:
+//
+//	sender ──tx ring──▶ proxy ──sealed mbox──▶ proxy ──rx ring──▶ receiver
+//	 (plain records)    seal N records            open segment
+//	                    into one segment          back into records
+//
+// The sender posts plain records onto the direction's tx ring and
+// returns — no AEAD work, no boundary interaction on its thread. A
+// pinned proxy worker drains the ring, coalesces a queued run of up to
+// SegmentMax records into one length-prefixed segment, seals it with a
+// single AEAD pass, and moves it across the simulated boundary (the
+// channel's original mbox). The same proxy opens arriving segments and
+// fans the records out onto the receiver's rx ring, where Recv picks
+// them up as if they had always been plaintext. Steady-state traffic
+// therefore crosses the boundary zero times on actor threads, and the
+// fixed per-seal cost (~2/3 of a small message's encryption bill) is
+// amortised over the whole run — the switchless-call idea of the paper
+// (Section 5.3), applied to the channel fast path.
+//
+// Adaptive parking: a proxy whose rings run dry spins for
+// SpinBudget, then parks on an sgx.Event (the SDK's untrusted-event
+// plumbing, shared with sgx.Mutex) and charges one ProxyParks. The
+// first ring post after a park rings the proxy's event, so an idle
+// deployment pays neither proxy CPU nor extra latency.
+//
+// Work conservation: the pipeline stages are guarded by per-direction
+// busy flags (busyTx, busyRx), not by proxy identity. An actor thread
+// that would otherwise wait — a sender facing an empty pipeline, a
+// receiver facing a dry rx ring — takes the same stage inline through
+// the same CAS guards: the sender seals a one-record segment directly,
+// the receiver drains the tx ring into segments and opens them itself.
+// On parallel hardware the spinning proxy wins the work and actor
+// threads never cross; on a saturated single core the actors do it
+// in-line (the blocking degradation the paper describes) and the
+// coalescing still amortises the AEAD cost over each in-flight run.
+//
+// Accounting: every record relayed by the proxy credits the platform
+// two avoided crossings on the send side (the EEXIT/EENTER pair a
+// blocking post would have paid) and two more on the receive side;
+// inline fallbacks credit nothing. The counters surface as
+// eactors_crossings_avoided / eactors_proxy_parks and in the MONITOR
+// report verb.
+
+// segHdr is the per-record length prefix inside a sealed segment.
+const segHdr = 4
+
+// swCallBuffer bounds the queued RunUntrusted calls per proxy.
+const swCallBuffer = 16
+
+// swDir is one direction of a switchless channel: the sender's tx call
+// ring, the sealed segment mbox (the channel's original direction mbox,
+// which is what crosses the boundary), and the receiver's rx ring of
+// opened records.
+//
+// Concurrency: busyTx serialises the seal half (pending/stalled/
+// scratch/seal-nonce order) between the proxy and the inline sender;
+// busyRx serialises the open half (lastSeq/rxScratch) between the proxy
+// and the inline receiver. Everything else is atomics or mbox hand-off.
+type swDir struct {
+	tag    uint32 // channel tag, for trace spans
+	tx     *mem.Mbox
+	rx     *mem.Mbox
+	sealed *mem.Mbox
+	pool   *mem.Pool
+	cipher *ecrypto.Cipher
+	plat   *sgx.Platform
+	inj    *faults.Injector
+
+	segMax  int
+	trailer bool // sealed records carry the 16-byte trace trailer
+
+	proxy    *swProxy
+	wakeRecv func() // receiver worker's doorbell
+
+	busyTx atomic.Int32
+	busyRx atomic.Int32
+
+	// txInflight counts records posted to tx but not yet delivered to
+	// the sealed mbox (in the ring, in pending, or in a stalled
+	// segment). The inline sender requires it to be zero so it can
+	// never reorder ahead of ring traffic.
+	txInflight atomic.Int64
+
+	// Seal-side state, guarded by busyTx.
+	pending []*mem.Node // records dequeued from tx, not yet sealed
+	stalled *mem.Node   // sealed segment rejected by a full sealed mbox
+	stage   []*mem.Node
+	scratch []byte
+
+	// Open-side state, guarded by busyRx.
+	lastSeq   uint64
+	rxScratch []byte
+
+	ringPosts atomic.Uint64 // records posted to the tx ring
+	relayed   atomic.Uint64 // records delivered to rx by the proxy
+	inline    atomic.Uint64 // records sealed or opened inline (fallback)
+	rxDropped atomic.Uint64 // records shed at open (auth/replay/starved)
+}
+
+// wakeProxy rings the owning proxy's event if it is parked. Posters
+// call it after their enqueue: the proxy stores parked=true before its
+// event wait re-evaluates the rings under the event lock, so either the
+// poster sees parked and Sets, or the wait's predicate sees the post.
+func (d *swDir) wakeProxy() {
+	if p := d.proxy; p.parked.Load() {
+		p.ev.Set()
+	}
+}
+
+// rxSpace reports whether the open half can accept a worst-case
+// segment (segMax records) right now.
+func (d *swDir) rxSpace() bool {
+	return d.rx.Cap()-d.rx.Len() >= d.segMax && d.pool.Free() > 0
+}
+
+// serviceTx drains the tx ring into sealed segments. It returns whether
+// it made progress. Called by the proxy; the inline sender takes the
+// same busyTx guard through sealInline.
+func (d *swDir) serviceTx(tr *trace.Tracer, ring int) bool {
+	if !d.busyTx.CompareAndSwap(0, 1) {
+		return false
+	}
+	defer d.busyTx.Store(0)
+	progressed := false
+	for {
+		if d.stalled != nil {
+			if !d.enqueueSegment(d.stalled) {
+				return progressed
+			}
+			d.noteSealedDelivered(int(d.stalled.Meta()))
+			d.stalled = nil
+			progressed = true
+		}
+		if len(d.pending) == 0 {
+			got := d.tx.DequeueBatch(d.stage)
+			if got == 0 {
+				return progressed
+			}
+			d.pending = append(d.pending[:0], d.stage[:got]...)
+		}
+		seg := d.packSegment(tr, ring)
+		if !d.enqueueSegment(seg) {
+			d.stalled = seg
+			return progressed
+		}
+		d.noteSealedDelivered(int(seg.Meta()))
+		progressed = true
+	}
+}
+
+// enqueueSegment moves one sealed segment onto the boundary mbox,
+// honouring an injected send failure (the segment stalls and is
+// retried — switchless never drops on the send side).
+func (d *swDir) enqueueSegment(seg *mem.Node) bool {
+	if d.inj != nil && d.inj.At(faults.SiteSend).Class == faults.SendFail {
+		return false
+	}
+	return d.sealed.Enqueue(seg)
+}
+
+// noteSealedDelivered retires n records from the tx pipeline and
+// credits the send-side crossing pair each of them avoided.
+func (d *swDir) noteSealedDelivered(n int) {
+	d.txInflight.Add(-int64(n))
+	d.plat.NoteCrossingsAvoided(2 * uint64(n))
+}
+
+// packSegment seals a prefix of d.pending into one segment and returns
+// it. The segment reuses the first record's node: the run's plaintext
+// is staged in d.scratch as repeated [u32 len][payload(+trailer)]
+// frames, sealed into that node's buffer with one AEAD pass, and the
+// consumed sibling nodes go back to the pool. Meta carries the record
+// count; the node trace header carries the run's last traced context
+// so the receive side keeps its sampling hint. Guarded by busyTx.
+func (d *swDir) packSegment(tr *trace.Tracer, ring int) *mem.Node {
+	budget := d.pool.Arena().PayloadSize() - ecrypto.Overhead
+	d.scratch = d.scratch[:0]
+	var lastCtx trace.Ctx
+	var lastEnq int64
+	used := 0
+	for _, node := range d.pending {
+		if used == d.segMax {
+			break
+		}
+		rlen := node.Len()
+		if d.trailer {
+			rlen += trace.HeaderSize
+		}
+		if used > 0 && len(d.scratch)+segHdr+rlen > budget {
+			break
+		}
+		var hdr [segHdr]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(rlen))
+		d.scratch = append(d.scratch, hdr[:]...)
+		d.scratch = append(d.scratch, node.Payload()...)
+		tid, span, enq := node.Trace()
+		if d.trailer {
+			d.scratch = trace.AppendHeader(d.scratch, trace.Ctx{TraceID: tid, Span: span})
+		}
+		if tid != 0 {
+			lastCtx = trace.Ctx{TraceID: tid, Span: span}
+			lastEnq = enq
+		}
+		used++
+	}
+	var sealStart time.Time
+	if tr != nil && lastCtx.Traced() {
+		sealStart = time.Now()
+	}
+	seg := d.pending[0]
+	blob := d.cipher.Seal(seg.Buf()[:0], d.scratch, nil)
+	if d.inj != nil && d.inj.At(faults.SiteSeal).Class == faults.SealCorrupt {
+		corruptSealed(blob)
+	}
+	_ = seg.SetLen(len(blob)) // budget-bounded above
+	seg.SetMeta(uint32(used))
+	stampTrace(seg, lastCtx, lastEnq)
+	if !sealStart.IsZero() {
+		tr.Record(ring, trace.Span{
+			TraceID: lastCtx.TraceID, ID: tr.NextSpan(), Parent: lastCtx.Span,
+			Kind: trace.KindSeal, Ref: d.tag,
+			Start: sealStart.UnixNano(), Dur: int64(time.Since(sealStart)),
+		})
+	}
+	if used > 1 {
+		_ = d.pool.PutBatch(d.pending[1:used])
+	}
+	d.pending = d.pending[:copy(d.pending, d.pending[used:])]
+	return seg
+}
+
+// serviceRx opens sealed segments into the rx ring. It returns whether
+// it made progress. Called by the proxy; the inline receiver takes the
+// same busyRx guard through tryInlineOpen.
+func (d *swDir) serviceRx(tr *trace.Tracer, ring int) bool {
+	if !d.busyRx.CompareAndSwap(0, 1) {
+		return false
+	}
+	defer d.busyRx.Store(0)
+	progressed := false
+	delivered := 0
+	for d.rxSpace() {
+		seg, ok := d.sealed.Dequeue()
+		if !ok {
+			break
+		}
+		n := d.openSegment(seg, tr, ring, true)
+		_ = d.pool.Put(seg)
+		delivered += n
+		progressed = true
+	}
+	if delivered > 0 && d.wakeRecv != nil {
+		d.wakeRecv()
+	}
+	return progressed
+}
+
+// openSegment authenticates one sealed segment and fans its records
+// out onto the rx ring, returning how many were delivered. A segment
+// that fails authentication or the replay check is shed whole; a
+// record that finds the pool starved or the ring full is shed alone —
+// both count rxDropped (switchless receive failures are shed at the
+// proxy rather than surfaced to Recv, which only ever sees good
+// records). viaProxy credits the receive-side avoided-crossing pair
+// and the relayed counter; the inline path counts inline instead.
+// Guarded by busyRx.
+func (d *swDir) openSegment(seg *mem.Node, tr *trace.Tracer, ring int, viaProxy bool) int {
+	blob := seg.Payload()
+	var hintEnq int64
+	var openStart time.Time
+	if tr != nil {
+		var tid uint64
+		tid, _, hintEnq = seg.Trace()
+		if tid != 0 {
+			openStart = time.Now()
+		}
+	}
+	count := uint64(seg.Meta())
+	if count == 0 {
+		count = 1
+	}
+	plain, err := d.cipher.Open(d.rxScratch[:0], blob, nil)
+	if err != nil {
+		d.rxDropped.Add(count)
+		return 0
+	}
+	d.rxScratch = plain
+	if seq := ecrypto.BlobCounter(blob); seq <= d.lastSeq {
+		d.rxDropped.Add(count)
+		return 0
+	} else {
+		d.lastSeq = seq
+	}
+	delivered := 0
+	var lastCtx trace.Ctx
+	for off := 0; off+segHdr <= len(plain); {
+		rlen := int(binary.LittleEndian.Uint32(plain[off:]))
+		off += segHdr
+		if rlen < 0 || off+rlen > len(plain) {
+			// Authenticated framing can only be malformed by a sender
+			// bug; shed the remainder rather than deliver garbage.
+			d.rxDropped.Add(1)
+			break
+		}
+		rec := plain[off : off+rlen]
+		off += rlen
+		var ctx trace.Ctx
+		if d.trailer {
+			rec, ctx = trace.SplitTrailer(rec)
+		}
+		node := d.pool.Get()
+		if node == nil {
+			d.rxDropped.Add(1)
+			continue
+		}
+		_ = node.SetPayload(rec) // bounded by the sender's MaxPayload
+		if ctx.Traced() {
+			// The original enqueue timestamp rides the segment header,
+			// so the receiver's dwell span covers the whole relay.
+			node.SetTrace(ctx.TraceID, ctx.Span, hintEnq)
+			lastCtx = ctx
+		} else {
+			node.ClearTrace()
+		}
+		if !d.rx.Enqueue(node) {
+			_ = d.pool.Put(node)
+			d.rxDropped.Add(1)
+			continue
+		}
+		delivered++
+	}
+	if delivered > 0 {
+		if viaProxy {
+			d.relayed.Add(uint64(delivered))
+			d.plat.NoteCrossingsAvoided(2 * uint64(delivered))
+		} else {
+			d.inline.Add(uint64(delivered))
+		}
+	}
+	if !openStart.IsZero() && lastCtx.Traced() {
+		// Attribute the boundary work the records did not do on actor
+		// threads: a crossing span for the whole relay transit and the
+		// open underneath it, recorded on the opener's ring.
+		now := time.Now()
+		crossing := tr.NextSpan()
+		if hintEnq > 0 && hintEnq <= now.UnixNano() {
+			tr.Record(ring, trace.Span{
+				TraceID: lastCtx.TraceID, ID: crossing, Parent: lastCtx.Span,
+				Kind: trace.KindCrossing, Ref: d.tag,
+				Start: hintEnq, Dur: now.UnixNano() - hintEnq,
+			})
+		}
+		tr.Record(ring, trace.Span{
+			TraceID: lastCtx.TraceID, ID: tr.NextSpan(), Parent: crossing,
+			Kind: trace.KindOpen, Ref: d.tag,
+			Start: openStart.UnixNano(), Dur: int64(now.Sub(openStart)),
+		})
+	}
+	return delivered
+}
+
+// swCall is one RunUntrusted request relayed through a proxy.
+type swCall struct {
+	fn   func()
+	done chan struct{}
+}
+
+// swProxy is one switchless proxy worker: a goroutine pinned to a set
+// of channel directions, performing their boundary work (seal, post,
+// open, doorbell) plus arbitrary RunUntrusted calls on behalf of
+// enclaved actors.
+type swProxy struct {
+	plat *sgx.Platform
+	id   int
+	ring int // trace ring index (after the worker rings)
+	dirs []*swDir
+	spin time.Duration
+	tr   *trace.Tracer
+
+	ev     *sgx.Event
+	parked atomic.Bool
+
+	calls chan swCall
+
+	// ctxs pin one TCS slot in every enclave the proxy services, held
+	// from build to shutdown — the switchless worker stays resident
+	// instead of re-entering per request.
+	ctxs []*sgx.Context
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// sweep runs one pass over the proxy's work sources and reports
+// whether anything progressed.
+func (p *swProxy) sweep() bool {
+	progressed := false
+	for _, d := range p.dirs {
+		if d.serviceTx(p.tr, p.ring) {
+			progressed = true
+		}
+		if d.serviceRx(p.tr, p.ring) {
+			progressed = true
+		}
+	}
+	for {
+		select {
+		case c := <-p.calls:
+			c.fn()
+			close(c.done)
+			// The OCall pair the calling actor did not pay.
+			p.plat.NoteCrossingsAvoided(2)
+			progressed = true
+		default:
+			return progressed
+		}
+	}
+}
+
+// idle is the park predicate, evaluated under the event lock: true
+// keeps the proxy asleep. It must return false exactly when sweep
+// could progress, otherwise a wake would spin straight back to the
+// park (or work would strand).
+func (p *swProxy) idle() bool {
+	select {
+	case <-p.quit:
+		return false
+	default:
+	}
+	if len(p.calls) > 0 {
+		return false
+	}
+	for _, d := range p.dirs {
+		if d.txInflight.Load() > 0 && d.sealed.Len() < d.sealed.Cap() {
+			return false
+		}
+		if !d.sealed.Empty() && d.rxSpace() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *swProxy) run() {
+	defer close(p.done)
+	var idleSince time.Time
+	for {
+		select {
+		case <-p.quit:
+			p.shutdown()
+			return
+		default:
+		}
+		if p.sweep() {
+			idleSince = time.Time{}
+			continue
+		}
+		if idleSince.IsZero() {
+			idleSince = time.Now()
+		}
+		if time.Since(idleSince) < p.spin {
+			runtime.Gosched()
+			continue
+		}
+		// Budget exhausted: park. parked is published before the wait's
+		// predicate runs, closing the race against a poster that
+		// enqueued between our last sweep and here (see wakeProxy).
+		p.parked.Store(true)
+		p.plat.NoteProxyPark()
+		p.ev.Wait(p.idle, nil)
+		p.parked.Store(false)
+		idleSince = time.Time{}
+	}
+}
+
+// shutdown drains the remaining ring work (workers have already
+// stopped, so the rings are quiescing) and releases the pinned TCS
+// slots.
+func (p *swProxy) shutdown() {
+	for p.sweep() {
+	}
+	for _, c := range p.ctxs {
+		c.Exit()
+	}
+}
+
+// switchless is the runtime-wide switchless state: every direction and
+// proxy, plus the RunUntrusted dispatch cursor.
+type switchless struct {
+	dirs    []*swDir
+	proxies []*swProxy
+	next    atomic.Uint32
+}
+
+// call relays fn to a proxy worker and waits for completion, returning
+// false when every proxy's call buffer is full (the caller runs fn
+// inline — a blocking OCall under overload).
+func (sw *switchless) call(fn func()) bool {
+	if len(sw.proxies) == 0 {
+		return false
+	}
+	c := swCall{fn: fn, done: make(chan struct{})}
+	start := int(sw.next.Add(1))
+	for i := 0; i < len(sw.proxies); i++ {
+		p := sw.proxies[(start+i)%len(sw.proxies)]
+		select {
+		case p.calls <- c:
+			if p.parked.Load() {
+				p.ev.Set()
+			}
+			<-c.done
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// stop terminates the proxies: each drains its rings once more, exits
+// its enclave contexts and returns. Called by Runtime.Stop after the
+// workers have joined, so no new ring posts or calls can arrive.
+func (sw *switchless) stop() {
+	for _, p := range sw.proxies {
+		close(p.quit)
+		p.ev.Set()
+	}
+	for _, p := range sw.proxies {
+		<-p.done
+	}
+}
+
+// buildSwitchless wires the switchless mode declared by cfg: one swDir
+// per encrypted channel direction, assigned round-robin to the proxy
+// workers, which are started immediately (endpoints are usable before
+// Runtime.Start). Called at the end of NewRuntime.
+func (rt *Runtime) buildSwitchless(cfg Config) error {
+	sc := cfg.Switchless
+	if !sc.Enabled {
+		return nil
+	}
+	spin := sc.SpinBudget
+	if spin == 0 {
+		spin = DefaultSwitchlessSpin
+	}
+	sw := &switchless{}
+	for i := 0; i < sc.proxyCount(); i++ {
+		sw.proxies = append(sw.proxies, &swProxy{
+			plat:  rt.platform,
+			id:    i,
+			ring:  len(rt.workers) + i,
+			spin:  spin,
+			tr:    rt.tr,
+			ev:    sgx.NewEvent(),
+			calls: make(chan swCall, swCallBuffer),
+			quit:  make(chan struct{}),
+			done:  make(chan struct{}),
+		})
+	}
+	for _, cs := range cfg.Channels {
+		ch := rt.channels[cs.Name]
+		if !ch.encrypted {
+			continue
+		}
+		dirAB, err := rt.buildDir(sc, ch, ch.epA, ch.epB, ch.ab)
+		if err != nil {
+			return err
+		}
+		dirBA, err := rt.buildDir(sc, ch, ch.epB, ch.epA, ch.ba)
+		if err != nil {
+			return err
+		}
+		sw.dirs = append(sw.dirs, dirAB, dirBA)
+	}
+	for i, d := range sw.dirs {
+		p := sw.proxies[i%len(sw.proxies)]
+		d.proxy = p
+		p.dirs = append(p.dirs, d)
+	}
+	// Pin a TCS slot in every enclave each proxy services: the resident
+	// switchless worker of the paper, entered once instead of per call.
+	for _, p := range sw.proxies {
+		entered := make(map[string]bool)
+		for _, inst := range rt.actors {
+			if inst.enclave == nil {
+				continue
+			}
+			serviced := false
+			for _, d := range p.dirs {
+				for _, ep := range inst.endpoints {
+					if ep.sw == d || ep.swRx == d {
+						serviced = true
+					}
+				}
+			}
+			if !serviced || entered[inst.spec.Enclave] {
+				continue
+			}
+			entered[inst.spec.Enclave] = true
+			ctx := sgx.NewContext(rt.platform)
+			if err := ctx.Enter(inst.enclave); err != nil {
+				return err
+			}
+			p.ctxs = append(p.ctxs, ctx)
+		}
+	}
+	rt.sw = sw
+	for _, p := range sw.proxies {
+		go p.run()
+	}
+	return nil
+}
+
+// buildDir creates one switchless direction from sender endpoint from
+// to receiver endpoint to, over the channel's existing boundary mbox.
+func (rt *Runtime) buildDir(sc SwitchlessConfig, ch *Channel, from, to *Endpoint, sealed *mem.Mbox) (*swDir, error) {
+	ringCap := sc.RingCapacity
+	if ringCap == 0 {
+		ringCap = sealed.Cap()
+	}
+	segMax := sc.SegmentMax
+	if segMax == 0 {
+		segMax = DefaultSwitchlessSegment
+	}
+	if segMax > ringCap {
+		segMax = ringCap
+	}
+	tx, err := mem.NewMbox(ringCap)
+	if err != nil {
+		return nil, fmt.Errorf("core: switchless channel %q: %w", ch.name, err)
+	}
+	rx, err := mem.NewMbox(ringCap)
+	if err != nil {
+		return nil, fmt.Errorf("core: switchless channel %q: %w", ch.name, err)
+	}
+	d := &swDir{
+		tag:      ch.tag,
+		tx:       tx,
+		rx:       rx,
+		sealed:   sealed,
+		pool:     from.pool,
+		cipher:   from.cipher,
+		plat:     rt.platform,
+		inj:      rt.flt,
+		segMax:   segMax,
+		trailer:  from.tr != nil,
+		wakeRecv: from.peerWake,
+		stage:    make([]*mem.Node, segMax),
+	}
+	from.sw = d
+	to.swRx = d
+	return d, nil
+}
+
+// sendPayloadSwitchless is Send's switchless tail: copy payload into a
+// pool node and hand it to sendSwitchless, releasing the node on error
+// (Send owns it; SendNode's caller keeps ownership instead).
+func (e *Endpoint) sendPayloadSwitchless(payload []byte, act faults.Action) error {
+	start := e.maybeSample()
+	tctx, tparent, tstart := e.traceSendStart()
+	node := e.pool.Get()
+	if node == nil {
+		e.sendFailures.Add(1)
+		return ErrPoolEmpty
+	}
+	if err := node.SetPayload(payload); err != nil {
+		_ = e.pool.Put(node)
+		return err
+	}
+	if err := e.sendSwitchless(node, act, start, tctx, tparent, tstart); err != nil {
+		_ = e.pool.Put(node)
+		return err
+	}
+	return nil
+}
+
+// sendSwitchless posts a filled node onto the tx ring (zero boundary
+// work on this thread), or — when the pipeline is empty, so there is
+// no run to coalesce with — seals a one-record segment inline, which
+// is exactly the blocking behaviour the mode degrades to. Ownership
+// transfers on success; on error the caller still owns the node.
+func (e *Endpoint) sendSwitchless(node *mem.Node, act faults.Action, start time.Time, tctx trace.Ctx, tparent uint32, tstart time.Time) error {
+	d := e.sw
+	if d.txInflight.Load() == 0 && d.sealed.Empty() && d.busyTx.CompareAndSwap(0, 1) {
+		// Re-check under the guard: the proxy cannot run concurrently
+		// now, but an earlier pass may have left a stalled segment.
+		if d.txInflight.Load() == 0 && d.stalled == nil {
+			err := e.sealInline(d, node, start, tctx, tstart)
+			d.busyTx.Store(0)
+			if err != nil {
+				e.sendFailures.Add(1)
+				return err
+			}
+			d.inline.Add(1)
+			e.sent.Add(1)
+			e.noteSent(1, start)
+			e.traceSendEnd(tctx, tparent, tstart)
+			e.wakePeer(act)
+			return nil
+		}
+		d.busyTx.Store(0)
+	}
+	if e.tr != nil {
+		var enq int64
+		if tctx.Traced() {
+			enq = time.Now().UnixNano()
+		}
+		stampTrace(node, tctx, enq)
+	}
+	d.txInflight.Add(1)
+	if !d.tx.Enqueue(node) {
+		d.txInflight.Add(-1)
+		e.sendFailures.Add(1)
+		return ErrMailboxFull
+	}
+	e.sent.Add(1)
+	d.ringPosts.Add(1)
+	e.noteSent(1, start)
+	e.traceSendEnd(tctx, tparent, tstart)
+	d.wakeProxy()
+	return nil
+}
+
+// sealInline seals node's payload as a one-record segment straight
+// onto the boundary mbox. Caller holds busyTx.
+func (e *Endpoint) sealInline(d *swDir, node *mem.Node, start time.Time, tctx trace.Ctx, tstart time.Time) error {
+	rlen := node.Len()
+	if d.trailer {
+		rlen += trace.HeaderSize
+	}
+	var hdr [segHdr]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(rlen))
+	d.scratch = append(d.scratch[:0], hdr[:]...)
+	d.scratch = append(d.scratch, node.Payload()...)
+	if d.trailer {
+		d.scratch = trace.AppendHeader(d.scratch, tctx)
+	}
+	var sealStart time.Time
+	if !start.IsZero() || !tstart.IsZero() {
+		sealStart = time.Now()
+	}
+	blob := d.cipher.Seal(node.Buf()[:0], d.scratch, nil)
+	if !sealStart.IsZero() {
+		if !start.IsZero() {
+			e.m.sealNs.ObserveSince(sealStart)
+		}
+		e.traceSeal(tctx, sealStart)
+	}
+	if e.injectSealCorrupt() {
+		corruptSealed(blob)
+	}
+	_ = node.SetLen(len(blob)) // bounded by MaxPayload
+	node.SetMeta(1)
+	var enq int64
+	if tctx.Traced() {
+		enq = time.Now().UnixNano()
+	}
+	stampTrace(node, tctx, enq)
+	if !d.sealed.Enqueue(node) {
+		return ErrMailboxFull
+	}
+	return nil
+}
+
+// recvSwitchless is Recv's switchless head: pop an already-open record
+// off the rx ring. When the ring is dry but segments wait on a parked
+// proxy, the receiver opens one inline (the blocking fallback).
+func (e *Endpoint) recvSwitchless(buf []byte) (int, bool, error) {
+	node, ok := e.recvSwitchlessNode()
+	if !ok {
+		return 0, false, nil
+	}
+	payload := node.Payload()
+	var err error
+	n := 0
+	if len(payload) > len(buf) {
+		err = fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, len(payload), len(buf))
+	} else {
+		n = copy(buf, payload)
+	}
+	if putErr := e.pool.Put(node); putErr != nil && err == nil {
+		err = putErr
+	}
+	return n, true, err
+}
+
+// recvSwitchlessNode dequeues one opened record, falling back to an
+// inline open, and runs the shared receive bookkeeping.
+func (e *Endpoint) recvSwitchlessNode() (*mem.Node, bool) {
+	d := e.swRx
+	node, ok := d.rx.Dequeue()
+	if !ok {
+		if !e.tryInlineOpen() {
+			// Empty-handed with backlog stuck behind a parked proxy
+			// (e.g. the inline open lost to pool starvation): hand the
+			// work back rather than strand it.
+			if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+				d.wakeProxy()
+			}
+			return nil, false
+		}
+		if node, ok = d.rx.Dequeue(); !ok {
+			return nil, false
+		}
+	}
+	// Backlog behind a parked proxy (e.g. it stalled on the full ring
+	// we just drained): hand the work back.
+	if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+		d.wakeProxy()
+	}
+	e.injectRecv()
+	e.received.Add(1)
+	e.noteRecv(1)
+	if e.tr != nil {
+		if tid, span, enq := node.Trace(); tid != 0 {
+			e.traceRecvPlain(trace.Ctx{TraceID: tid, Span: span}, enq)
+		}
+	}
+	return node, true
+}
+
+// tryInlineOpen advances the pipeline on the receiver's thread when
+// the rx ring is dry: it seals any tx backlog into segments (stealing
+// serviceTx through the busyTx guard — one AEAD pass for the whole
+// run) and opens the oldest waiting segment. The CAS guards arbitrate
+// with the proxy: on parallel hardware the proxy usually got here
+// first and the steal is a no-op. Returns whether any record was
+// delivered to the rx ring.
+func (e *Endpoint) tryInlineOpen() bool {
+	d := e.swRx
+	if d.sealed.Empty() && d.txInflight.Load() > 0 {
+		d.serviceTx(e.tr, e.owner)
+	}
+	if d.sealed.Empty() {
+		return false
+	}
+	if !d.busyRx.CompareAndSwap(0, 1) {
+		return false
+	}
+	defer d.busyRx.Store(0)
+	if !d.rxSpace() {
+		return false
+	}
+	seg, ok := d.sealed.Dequeue()
+	if !ok {
+		return false
+	}
+	n := d.openSegment(seg, e.tr, e.owner, false)
+	_ = d.pool.Put(seg)
+	return n > 0
+}
+
+// recvBatchSwitchless is RecvBatch over the rx ring: one dequeue CAS
+// for the burst, plaintext delivery, one pool release.
+func (e *Endpoint) recvBatchSwitchless(bufs [][]byte, lens []int) (int, error) {
+	want := len(bufs)
+	if len(lens) < want {
+		want = len(lens)
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	d := e.swRx
+	nodes := e.nodeSlots(want)
+	got := d.rx.DequeueBatch(nodes)
+	if got == 0 {
+		if !e.tryInlineOpen() {
+			if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+				d.wakeProxy()
+			}
+			return 0, nil
+		}
+		if got = d.rx.DequeueBatch(nodes); got == 0 {
+			return 0, nil
+		}
+	}
+	if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+		d.wakeProxy()
+	}
+	e.injectRecv()
+	e.received.Add(uint64(got))
+	e.noteRecv(got)
+	if e.m != nil {
+		e.m.recvBatch.Observe(uint64(got))
+	}
+	delivered := 0
+	var lastCtx trace.Ctx
+	var lastEnq int64
+	var firstErr error
+	for i := 0; i < got; i++ {
+		payload := nodes[i].Payload()
+		if e.tr != nil {
+			if tid, span, enq := nodes[i].Trace(); tid != 0 {
+				lastCtx = trace.Ctx{TraceID: tid, Span: span}
+				lastEnq = enq
+			}
+		}
+		if len(payload) > len(bufs[delivered]) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, len(payload), len(bufs[delivered]))
+			}
+			continue
+		}
+		lens[delivered] = copy(bufs[delivered], payload)
+		delivered++
+	}
+	if lastCtx.Traced() {
+		e.traceRecvPlain(lastCtx, lastEnq)
+	}
+	if err := e.pool.PutBatch(nodes[:got]); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return delivered, firstErr
+}
+
+// SwitchlessReport aggregates the switchless counters for Report.
+type SwitchlessReport struct {
+	// Enabled reports whether the mode is configured.
+	Enabled bool
+	// Proxies is the proxy-worker count.
+	Proxies int
+	// RingPosts counts records posted to tx call rings.
+	RingPosts uint64
+	// Relayed counts records the proxies carried end to end.
+	Relayed uint64
+	// Inline counts records sealed or opened inline while a proxy was
+	// parked (the blocking fallback).
+	Inline uint64
+	// Dropped counts records shed at open (auth, replay, starvation).
+	Dropped uint64
+	// CrossingsAvoided and Parks mirror the platform counters.
+	CrossingsAvoided uint64
+	Parks            uint64
+}
+
+// switchlessReport snapshots the runtime's switchless counters.
+func (rt *Runtime) switchlessReport() SwitchlessReport {
+	r := SwitchlessReport{}
+	if rt.sw == nil {
+		return r
+	}
+	r.Enabled = true
+	r.Proxies = len(rt.sw.proxies)
+	for _, d := range rt.sw.dirs {
+		r.RingPosts += d.ringPosts.Load()
+		r.Relayed += d.relayed.Load()
+		r.Inline += d.inline.Load()
+		r.Dropped += d.rxDropped.Load()
+	}
+	s := rt.platform.Snapshot()
+	r.CrossingsAvoided = s.CrossingsAvoided
+	r.Parks = s.ProxyParks
+	return r
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/trace"
+)
+
+// buildPairSwitchless is buildPair for an encrypted channel with the
+// switchless proxy subsystem armed. The runtime is not started; the
+// proxy goroutines run regardless, so the endpoints exercise the full
+// ring pipeline from the test thread.
+func buildPairSwitchless(t testing.TB, capacity, poolNodes, payload, proxies int) (a, b *Endpoint, rt *Runtime) {
+	t.Helper()
+	cfg := Config{
+		Workers:     []WorkerSpec{{}},
+		PoolNodes:   poolNodes,
+		NodePayload: payload,
+		Enclaves:    []EnclaveSpec{{Name: "ea"}, {Name: "eb"}},
+		Actors: []Spec{
+			{Name: "a", Worker: 0, Enclave: "ea", Body: func(*Self) {}},
+			{Name: "b", Worker: 0, Enclave: "eb", Body: func(*Self) {}},
+		},
+		Channels:   []ChannelSpec{{Name: "link", A: "a", B: "b", Capacity: capacity}},
+		Switchless: SwitchlessConfig{Enabled: true, Proxies: proxies},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(rt.Stop)
+	return rt.actors["a"].endpoints["link"], rt.actors["b"].endpoints["link"], rt
+}
+
+// waitProxiesParked blocks until every proxy has exhausted its spin
+// budget and parked on its event.
+func waitProxiesParked(t testing.TB, rt *Runtime) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		parked := true
+		for _, p := range rt.sw.proxies {
+			if !p.parked.Load() {
+				parked = false
+			}
+		}
+		if parked {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxies never parked")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestSwitchlessInlineRoundTrip: with the proxy parked and the pipeline
+// empty, a send degrades to the inline (blocking) path and the receiver
+// opens the segment itself — the message round-trips in both directions
+// without waking the proxy, and the inline counter records it.
+func TestSwitchlessInlineRoundTrip(t *testing.T) {
+	a, b, rt := buildPairSwitchless(t, 8, 32, 256, 1)
+	waitProxiesParked(t, rt)
+
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	buf := make([]byte, 256)
+	n, ok, err := b.Recv(buf)
+	if err != nil || !ok || string(buf[:n]) != "hello" {
+		t.Fatalf("Recv = %q ok=%v err=%v", buf[:n], ok, err)
+	}
+	if got := a.sw.inline.Load(); got < 1 {
+		t.Fatalf("inline counter = %d after parked-proxy send, want >= 1", got)
+	}
+
+	// Reply direction uses its own ring pair.
+	if err := b.Send([]byte("world")); err != nil {
+		t.Fatalf("reply Send: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, ok, err = a.Recv(buf)
+		if err != nil {
+			t.Fatalf("reply Recv: %v", err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reply never arrived")
+		}
+		runtime.Gosched()
+	}
+	if string(buf[:n]) != "world" {
+		t.Fatalf("reply Recv = %q", buf[:n])
+	}
+}
+
+// TestSwitchlessBurstFIFO floods the channel faster than the receiver
+// drains it, so traffic reaches the tx ring and the proxy coalesces
+// records into multi-record segments. Every message must arrive exactly
+// once, in order, with nothing shed, and the proxy counters must show
+// both ring relaying and avoided crossings.
+func TestSwitchlessBurstFIFO(t *testing.T) {
+	a, b, rt := buildPairSwitchless(t, 64, 256, 256, 1)
+
+	const total = 400
+	sent, got := 0, 0
+	buf := make([]byte, 256)
+	deadline := time.Now().Add(20 * time.Second)
+
+	// Seed the pipeline and give the proxy the CPU before the receiver
+	// starts competing for the open work, so the relayed counter is
+	// deterministically exercised.
+	for sent < total {
+		if err := a.Send([]byte(fmt.Sprintf("msg-%04d", sent))); err != nil {
+			break
+		}
+		sent++
+	}
+	for a.sw.relayed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy never relayed: tx=%d sealed=%d rx=%d", a.sw.tx.Len(), a.sw.sealed.Len(), a.sw.rx.Len())
+		}
+		runtime.Gosched()
+	}
+
+	for got < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled: sent=%d got=%d ringPosts=%d relayed=%d inline=%d dropped=%d",
+				sent, got, a.sw.ringPosts.Load(), a.sw.relayed.Load(), a.sw.inline.Load(), a.sw.rxDropped.Load())
+		}
+		for sent < total {
+			if err := a.Send([]byte(fmt.Sprintf("msg-%04d", sent))); err != nil {
+				if errors.Is(err, ErrMailboxFull) {
+					break
+				}
+				t.Fatalf("Send %d: %v", sent, err)
+			}
+			sent++
+		}
+		n, ok, err := b.Recv(buf)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", got, err)
+		}
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if want := fmt.Sprintf("msg-%04d", got); string(buf[:n]) != want {
+			t.Fatalf("Recv %d = %q, want %q", got, buf[:n], want)
+		}
+		got++
+	}
+	if dropped := a.sw.rxDropped.Load(); dropped != 0 {
+		t.Fatalf("rxDropped = %d, want 0", dropped)
+	}
+	if posts := a.sw.ringPosts.Load(); posts == 0 {
+		t.Fatal("burst never reached the tx ring")
+	}
+	if relayed := a.sw.relayed.Load(); relayed == 0 {
+		t.Fatal("proxy never relayed a record")
+	}
+	if avoided := rt.Platform().Snapshot().CrossingsAvoided; avoided == 0 {
+		t.Fatal("CrossingsAvoided = 0 after ring traffic")
+	}
+}
+
+// TestSwitchlessTwoProxies is the burst test at Proxies=2: direction
+// rings are spread round-robin across proxies and traffic still arrives
+// in order.
+func TestSwitchlessTwoProxies(t *testing.T) {
+	a, b, _ := buildPairSwitchless(t, 32, 128, 256, 2)
+	const total = 100
+	sent, got := 0, 0
+	buf := make([]byte, 256)
+	deadline := time.Now().Add(20 * time.Second)
+	for got < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled: sent=%d got=%d", sent, got)
+		}
+		for sent < total {
+			if err := a.Send([]byte(fmt.Sprintf("m%03d", sent))); err != nil {
+				break
+			}
+			sent++
+		}
+		n, ok, _ := b.Recv(buf)
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if want := fmt.Sprintf("m%03d", got); string(buf[:n]) != want {
+			t.Fatalf("Recv %d = %q, want %q", got, buf[:n], want)
+		}
+		got++
+	}
+}
+
+// TestSwitchlessMaxPayload: the segment length prefix costs segHdr
+// bytes of MaxPayload relative to a blocking encrypted channel; a
+// message of exactly MaxPayload round-trips and one byte more is
+// rejected before touching the pipeline.
+func TestSwitchlessMaxPayload(t *testing.T) {
+	blockA, _, _ := buildPair(t, true, 8, 16, 256)
+	a, b, _ := buildPairSwitchless(t, 8, 32, 256, 1)
+	if got, want := a.MaxPayload(), blockA.MaxPayload()-segHdr; got != want {
+		t.Fatalf("switchless MaxPayload = %d, want %d (blocking - segHdr)", got, want)
+	}
+	msg := make([]byte, a.MaxPayload())
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	if err := a.Send(msg); err != nil {
+		t.Fatalf("Send(MaxPayload): %v", err)
+	}
+	buf := make([]byte, 256)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, ok, err := b.Recv(buf)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if ok {
+			if n != len(msg) {
+				t.Fatalf("Recv length = %d, want %d", n, len(msg))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("max-size message never arrived")
+		}
+		runtime.Gosched()
+	}
+	if err := a.Send(make([]byte, a.MaxPayload()+1)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversize Send err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+// TestSwitchlessRunUntrusted: with proxies configured the call is
+// relayed (two crossings avoided); without, it runs inline on the
+// calling thread.
+func TestSwitchlessRunUntrusted(t *testing.T) {
+	_, _, rt := buildPairSwitchless(t, 8, 32, 256, 1)
+	base := rt.Platform().Snapshot().CrossingsAvoided
+	var ran atomic.Bool
+	self := &Self{rt: rt}
+	self.RunUntrusted(func() { ran.Store(true) })
+	if !ran.Load() {
+		t.Fatal("proxied fn never ran")
+	}
+	if got := rt.Platform().Snapshot().CrossingsAvoided; got < base+2 {
+		t.Fatalf("CrossingsAvoided = %d, want >= %d", got, base+2)
+	}
+
+	// No switchless subsystem: inline fallback.
+	_, _, plain := buildPair(t, true, 8, 16, 256)
+	var inline atomic.Bool
+	(&Self{rt: plain}).RunUntrusted(func() { inline.Store(true) })
+	if !inline.Load() {
+		t.Fatal("inline fallback never ran")
+	}
+}
+
+// TestSwitchlessPanicRestartWhileParked is the supervision interaction:
+// an enclaved consumer on a switchless channel panics while the proxy
+// is parked; the restart (with FlushMailbox) must drain the rx ring
+// without wedging it, and delivery must resume afterwards.
+func TestSwitchlessPanicRestartWhileParked(t *testing.T) {
+	received := new(atomic.Int64)
+	var first atomic.Bool
+	first.Store(true)
+	buf := make([]byte, 128)
+	cfg := Config{
+		Workers:     []WorkerSpec{{}, {}},
+		PoolNodes:   64,
+		NodePayload: 128,
+		Enclaves:    []EnclaveSpec{{Name: "ea"}, {Name: "eb"}},
+		Channels:    []ChannelSpec{{Name: "work", A: "producer", B: "consumer", Capacity: 8}},
+		Switchless:  SwitchlessConfig{Enabled: true},
+		Actors: []Spec{
+			{Name: "producer", Worker: 0, Enclave: "ea", Body: func(*Self) {}},
+			{
+				Name: "consumer", Worker: 1, Enclave: "eb",
+				Restart: RestartPolicy{OnPanic: true, Backoff: time.Millisecond, FlushMailbox: true},
+				Body: func(self *Self) {
+					if first.CompareAndSwap(true, false) {
+						panic("crash while proxy parked")
+					}
+					ep := self.MustChannel("work")
+					for {
+						_, ok, err := ep.Recv(buf)
+						if !ok || err != nil {
+							return
+						}
+						received.Add(1)
+						self.Progress()
+					}
+				},
+			},
+		},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+
+	// Wait for the panic to park the consumer and the idle proxies to
+	// park on their events.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.FailedActors()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	waitProxiesParked(t, rt)
+
+	// Restart fires on its own; keep sending until delivery resumes.
+	// Retried ErrMailboxFull is expected while the consumer is down.
+	ep := rt.actors["producer"].endpoints["work"]
+	deadline = time.Now().Add(10 * time.Second)
+	for received.Load() < 50 {
+		if time.Now().After(deadline) {
+			d := ep.sw
+			stack := make([]byte, 1<<16)
+			stack = stack[:runtime.Stack(stack, true)]
+			t.Fatalf("delivery never resumed: received=%d restarts=%d failed=%v tx=%d sealed=%d rx=%d inflight=%d parked=%v busyTx=%d busyRx=%d stalled=%v posts=%d relayed=%d inline=%d dropped=%d\n%s",
+				received.Load(), rt.ActorRestarts("consumer"), rt.FailedActors(),
+				d.tx.Len(), d.sealed.Len(), d.rx.Len(), d.txInflight.Load(), d.proxy.parked.Load(),
+				d.busyTx.Load(), d.busyRx.Load(), d.stalled != nil,
+				d.ringPosts.Load(), d.relayed.Load(), d.inline.Load(), d.rxDropped.Load(), stack)
+		}
+		if err := ep.Send([]byte("payload")); err != nil && !errors.Is(err, ErrMailboxFull) {
+			t.Fatalf("Send: %v", err)
+		}
+		runtime.Gosched()
+	}
+	if got := rt.ActorRestarts("consumer"); got != 1 {
+		t.Fatalf("ActorRestarts = %d, want 1", got)
+	}
+}
+
+// TestSwitchlessStopWithBacklog: Stop must drain in-flight ring traffic
+// and join the proxies without deadlocking, even when nobody receives.
+func TestSwitchlessStopWithBacklog(t *testing.T) {
+	a, _, rt := buildPairSwitchless(t, 16, 64, 256, 1)
+	for i := 0; i < 32; i++ {
+		if err := a.Send([]byte("backlog")); err != nil {
+			break
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop deadlocked with switchless backlog")
+	}
+}
+
+// TestSwitchlessTracedRoundTrip: a sampled message keeps its causal
+// identity across the switchless pipeline — the receiver's scope adopts
+// the sender's trace and the send span lands on the tracer ring.
+func TestSwitchlessTracedRoundTrip(t *testing.T) {
+	cfg := Config{
+		Trace:            true,
+		TraceSampleEvery: 1,
+		Workers:          []WorkerSpec{{}},
+		PoolNodes:        32,
+		NodePayload:      256,
+		Enclaves:         []EnclaveSpec{{Name: "ea"}, {Name: "eb"}},
+		Actors: []Spec{
+			{Name: "a", Worker: 0, Enclave: "ea", Body: func(*Self) {}},
+			{Name: "b", Worker: 0, Enclave: "eb", Body: func(*Self) {}},
+		},
+		Channels:   []ChannelSpec{{Name: "link", A: "a", B: "b", Capacity: 8}},
+		Switchless: SwitchlessConfig{Enabled: true},
+	}
+	rt, err := NewRuntime(zeroPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	a := rt.actors["a"].endpoints["link"]
+	b := rt.actors["b"].endpoints["link"]
+	sc, err := rt.ScopeForTest("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rt.Tracer()
+	ctx := tr.NewRoot()
+	sc.Adopt(ctx)
+	if err := a.Send([]byte("traced")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	buf := make([]byte, 256)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, ok, err := b.Recv(buf)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if ok {
+			if string(buf[:n]) != "traced" {
+				t.Fatalf("Recv = %q", buf[:n])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("traced message never arrived")
+		}
+		runtime.Gosched()
+	}
+	bsc, err := rt.ScopeForTest("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bsc.Active(); got.TraceID != ctx.TraceID {
+		t.Fatalf("receiver scope = %+v, want trace %d adopted", got, ctx.TraceID)
+	}
+	kinds := kindCount(tr.Snapshot(), ctx.TraceID)
+	if kinds[trace.KindSend] < 1 || kinds[trace.KindSeal] < 1 || kinds[trace.KindOpen] < 1 {
+		t.Fatalf("trace kinds = %v, want send+seal+open spans", kinds)
+	}
+}
+
+// TestSwitchlessReportAndMonitor: the runtime report carries the proxy
+// counters and the monitor's report verb renders them.
+func TestSwitchlessReportAndMonitor(t *testing.T) {
+	a, b, rt := buildPairSwitchless(t, 8, 32, 256, 1)
+	if err := a.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, ok, err := b.Recv(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ping never arrived")
+		}
+		runtime.Gosched()
+	}
+	r := rt.Report()
+	if !r.Switchless.Enabled || r.Switchless.Proxies != 1 {
+		t.Fatalf("Switchless report = %+v, want enabled with 1 proxy", r.Switchless)
+	}
+	if r.Switchless.RingPosts+r.Switchless.Inline == 0 {
+		t.Fatalf("Switchless report shows no traffic: %+v", r.Switchless)
+	}
+	var out bytes.Buffer
+	writeReport(&out, r)
+	if !strings.Contains(out.String(), "switchless proxies=1") {
+		t.Fatalf("monitor report missing switchless line:\n%s", out.String())
+	}
+
+	// A blocking runtime's report must not claim switchless.
+	_, _, plain := buildPair(t, true, 8, 16, 256)
+	if pr := plain.Report(); pr.Switchless.Enabled {
+		t.Fatalf("blocking runtime reports switchless: %+v", pr.Switchless)
+	}
+}

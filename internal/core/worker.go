@@ -193,6 +193,25 @@ func (w *Worker) restart(a *actorInstance) bool {
 				}
 				_ = ep.pool.Put(node)
 			}
+			if d := ep.swRx; d != nil {
+				// Switchless ingress has a second stage: records the
+				// proxy already opened into the rx ring. Draining it
+				// races only the proxy's enqueue side (the ring is
+				// MPMC), so a parked or mid-relay proxy never wedges
+				// the restart.
+				for {
+					node, ok := d.rx.Dequeue()
+					if !ok {
+						break
+					}
+					_ = ep.pool.Put(node)
+				}
+				// The drain just created ring and mbox space a proxy
+				// may have parked on; hand any stranded tx backlog
+				// back to it or the pipeline wedges (the senders only
+				// ring the doorbell on successful enqueues).
+				d.wakeProxy()
+			}
 		}
 	}
 	if a.spec.Restart.Reinit && a.spec.Init != nil {

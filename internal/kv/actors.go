@@ -318,10 +318,13 @@ func (srv *Server) storeSpec(opts Options, i, worker int, enclave string) core.S
 			}
 			if n > 0 && syncPerBurst {
 				// Per-burst write-back: one batched Sync amortised over
-				// the whole drained burst.
+				// the whole drained burst. The flush is untrusted work
+				// (file I/O); with switchless proxies configured it is
+				// relayed as a switchless OCall so the enclaved KVSTORE
+				// never crosses the boundary for it.
 				tr := self.Tracer()
 				start := tr.Begin(self.TraceScope())
-				_ = srv.store.Flush()
+				self.RunUntrusted(func() { _ = srv.store.Flush() })
 				tr.End(self.WorkerID(), self.TraceScope(), trace.KindPOSSync, uint32(i), start)
 			}
 			srv.flushWrites(st, write)

@@ -27,6 +27,11 @@ type Options struct {
 	// Trusted places each KVSTORE eactor inside its own enclave; the
 	// FRONTEND-to-KVSTORE channels then encrypt automatically.
 	Trusted bool
+	// Switchless services the encrypted FRONTEND-to-KVSTORE channels
+	// with proxy workers (core.SwitchlessConfig) instead of blocking
+	// per-message crossings, and relays POS write-back flushes through
+	// the proxies as switchless OCalls. No effect unless Trusted.
+	Switchless bool
 	// Platform supplies the SGX simulation; nil creates a default one.
 	Platform *sgx.Platform
 
@@ -214,6 +219,7 @@ func (srv *Server) buildConfig(opts Options) (core.Config, chan string) {
 		Trace:            opts.Trace,
 		TraceSampleEvery: opts.TraceSampleEvery,
 		Faults:           opts.Faults,
+		Switchless:       core.SwitchlessConfig{Enabled: opts.Switchless && opts.Trusted},
 	}
 	cfg.Workers = make([]core.WorkerSpec, 2+shards)
 	frontWorker, netWorker := 0, 1

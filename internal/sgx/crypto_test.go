@@ -273,8 +273,8 @@ func TestMutexContendedChargesSleepPath(t *testing.T) {
 		m.Unlock(ctx)
 	}()
 	// Release only once the contender has committed to the sleep path.
-	for p.Snapshot().MutexSleeps == 0 {
-		// spin; the contender increments the counter before blocking
+	for m.sleepers.Load() == 0 {
+		// spin; the contender registers as a sleeper before blocking
 	}
 	m.Unlock(holder)
 	<-acquired

@@ -1,0 +1,72 @@
+package sgx
+
+import "sync"
+
+// Event is the untrusted wait object backing the SDK's
+// sgx_thread_wait_untrusted_event / sgx_thread_set_untrusted_event OCall
+// pair. A thread that cannot make progress inside an enclave exits,
+// parks on an Event, and is re-entered once another thread sets it.
+//
+// The same plumbing backs two users: Mutex (the SDK barging mutex) and
+// the switchless proxy workers, which park on an Event when their rings
+// run dry (the paper's adaptive fallback). Event itself charges nothing;
+// callers account the EEXIT/EENTER pair only when Wait reports that the
+// thread actually blocked.
+//
+// Wakes are generation-counted so a Set that races a waiter between its
+// failed predicate check and the block cannot be lost.
+type Event struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  uint64 // wake generation, guarded by mu
+}
+
+// NewEvent creates an untrusted wait event.
+func NewEvent() *Event {
+	e := &Event{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Wait blocks while pred stays true and no wake has arrived since entry.
+// pred is evaluated under the event lock, closing the race against a
+// concurrent Set/Signal. onFirstWait, when non-nil, runs under the lock
+// immediately before the first block — callers use it to register
+// themselves as sleepers exactly when they commit to sleeping. Wait
+// reports whether the calling thread actually blocked; a near-miss that
+// finds pred already false never sleeps and must not be charged a
+// transition pair.
+func (e *Event) Wait(pred func() bool, onFirstWait func()) (waited bool) {
+	e.mu.Lock()
+	gen := e.gen
+	for e.gen == gen && pred() {
+		if !waited {
+			waited = true
+			if onFirstWait != nil {
+				onFirstWait()
+			}
+		}
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+	return waited
+}
+
+// Set wakes every waiter (sgx_thread_set_multiple_untrusted_events).
+// Used by switchless posters: the parked proxy re-checks its rings under
+// the event lock, so a post-then-Set can never strand work.
+func (e *Event) Set() {
+	e.mu.Lock()
+	e.gen++
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Signal wakes one waiter (sgx_thread_set_untrusted_event). The SDK
+// mutex signals a single sleeper per unlock; the woken thread barges.
+func (e *Event) Signal() {
+	e.mu.Lock()
+	e.gen++
+	e.mu.Unlock()
+	e.cond.Signal()
+}

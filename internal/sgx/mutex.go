@@ -1,7 +1,6 @@
 package sgx
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,24 +25,29 @@ import (
 // Figure 1 shows the SDK mutex degrading with thread count while a
 // futex mutex stays flat.
 //
+// The EEXIT/EENTER pair is charged only when the thread actually blocks
+// on the untrusted event. A near miss — the holder releases between the
+// failed spin and the wait — re-acquires in-enclave without paying any
+// transition, matching the SDK, where the queue re-check happens before
+// the OCall is issued. The simulator burns both halves of the pair after
+// the wait returns; the total charge per sleep is identical to paying
+// EEXIT before and EENTER after, and the placement keeps the
+// wait itself free of simulated spinning.
+//
 // From untrusted context the same mutex degenerates to CAS plus futex
 // behaviour without transition charges.
 type Mutex struct {
 	platform *Platform
 
 	state    atomic.Int32 // 0 free, 1 locked
-	sleepers atomic.Int64
+	sleepers atomic.Int64 // threads blocked on ev right now
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	gen  uint64 // wake generation, guarded by mu
+	ev *Event
 }
 
 // NewMutex creates an SDK-style mutex on the given platform.
 func NewMutex(p *Platform) *Mutex {
-	m := &Mutex{platform: p}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &Mutex{platform: p, ev: NewEvent()}
 }
 
 func (m *Mutex) tryAcquire() bool {
@@ -71,23 +75,21 @@ func (m *Mutex) Lock(ctx *Context) {
 			return
 		}
 
-		// Sleep path: leave the enclave and wait for a wake event.
-		p.mutexSleeps.Add(1)
-		m.sleepers.Add(1)
-		if inEnclave {
-			ctx.cross(faults.SiteExit) // EEXIT towards the untrusted event
-		}
-		m.mu.Lock()
-		gen := m.gen
-		// Re-check under the wait lock so a signal cannot be lost
-		// between the failed CAS and the wait.
-		for m.gen == gen && m.state.Load() != 0 {
-			m.cond.Wait()
-		}
-		m.mu.Unlock()
-		m.sleepers.Add(-1)
-		if inEnclave {
-			ctx.cross(faults.SiteEnter) // EENTER to retry
+		// Sleep path: park on the untrusted event until a wake. The
+		// sleeper registers itself under the event lock exactly when it
+		// commits to blocking, so Unlock's sleeper check observes only
+		// threads that will truly consume a signal.
+		waited := m.ev.Wait(
+			func() bool { return m.state.Load() != 0 },
+			func() { m.sleepers.Add(1) },
+		)
+		if waited {
+			m.sleepers.Add(-1)
+			p.mutexSleeps.Add(1)
+			if inEnclave {
+				ctx.cross(faults.SiteExit)  // EEXIT towards the untrusted event
+				ctx.cross(faults.SiteEnter) // EENTER to retry
+			}
 		}
 		// Barging retry: another thread may already hold the lock again.
 		if m.tryAcquire() {
@@ -97,7 +99,10 @@ func (m *Mutex) Lock(ctx *Context) {
 }
 
 // Unlock releases the mutex, signalling a sleeper (with the OCall
-// charge when inside an enclave).
+// charge when inside an enclave). With no sleepers registered the
+// release is a plain in-enclave store: no transition is charged, which
+// is the whole point of the spin-then-sleep design for uncontended and
+// lightly contended locks.
 func (m *Mutex) Unlock(ctx *Context) {
 	m.state.Store(0)
 	if m.sleepers.Load() == 0 {
@@ -107,8 +112,5 @@ func (m *Mutex) Unlock(ctx *Context) {
 		ctx.cross(faults.SiteExit)  // EEXIT for sgx_thread_set_untrusted_event
 		ctx.cross(faults.SiteEnter) // EENTER back
 	}
-	m.mu.Lock()
-	m.gen++
-	m.mu.Unlock()
-	m.cond.Signal()
+	m.ev.Signal()
 }
