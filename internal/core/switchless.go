@@ -110,10 +110,28 @@ type swDir struct {
 	lastSeq   uint64
 	rxScratch []byte
 
+	// rxStalled is a sealed segment whose fan-out ran out of receive
+	// capacity (a pool node or an rx ring slot) mid-segment. Its
+	// plaintext stays decrypted in rxScratch with rxOff marking the
+	// resume cursor (rxResume distinguishes a stall-before-first-record
+	// from a fresh segment, so the replay counter is not re-checked
+	// against itself). nextSealed resumes it before dequeuing anything
+	// newer, so boundary FIFO holds and records are never shed for
+	// capacity. Incremental drain is required for liveness, not just
+	// politeness: coalescing compresses a whole run into one node, so
+	// the pool can hold fewer free nodes than one segment's record
+	// count and waiting for the full run to be affordable can deadlock.
+	// Guarded by busyRx; rxBacklog mirrors the stall's presence for
+	// lock-free wakeup checks.
+	rxStalled *mem.Node
+	rxResume  bool
+	rxOff     int
+	rxBacklog atomic.Int32
+
 	ringPosts atomic.Uint64 // records posted to the tx ring
 	relayed   atomic.Uint64 // records delivered to rx by the proxy
 	inline    atomic.Uint64 // records sealed or opened inline (fallback)
-	rxDropped atomic.Uint64 // records shed at open (auth/replay/starved)
+	rxDropped atomic.Uint64 // records shed at open (auth/replay/capacity race)
 }
 
 // wakeProxy rings the owning proxy's event if it is parked. Posters
@@ -126,16 +144,60 @@ func (d *swDir) wakeProxy() {
 	}
 }
 
-// rxSpace reports whether the open half can accept a worst-case
-// segment (segMax records) right now.
+// rxSpace reports whether the open half can deliver at least one
+// record right now — one fresh pool node plus one rx ring slot.
+// openSegment drains incrementally, so this is exactly the progress
+// condition.
 func (d *swDir) rxSpace() bool {
-	return d.rx.Cap()-d.rx.Len() >= d.segMax && d.pool.Free() > 0
+	return d.rx.Cap() > d.rx.Len() && d.pool.Free() > 0
+}
+
+// backlog reports work that may be stuck behind a parked proxy:
+// undelivered tx records, sealed segments waiting to be opened, or a
+// stalled segment waiting for receive capacity.
+func (d *swDir) backlog() bool {
+	return !d.sealed.Empty() || d.txInflight.Load() > 0 || d.rxBacklog.Load() != 0
+}
+
+// nextSealed returns the segment the open half should work on — the
+// stalled one if present (boundary FIFO: nothing newer may overtake
+// it), else the oldest sealed segment — or nil when there is none or
+// no capacity to deliver even a single record. Guarded by busyRx.
+func (d *swDir) nextSealed() *mem.Node {
+	if !d.rxSpace() {
+		return nil
+	}
+	if d.rxStalled != nil {
+		return d.rxStalled
+	}
+	seg, ok := d.sealed.Dequeue()
+	if !ok {
+		return nil
+	}
+	return seg
+}
+
+// stallRx parks seg as the direction's stalled segment after a partial
+// fan-out; finishRx retires a fully drained (or shed) segment. Both
+// guarded by busyRx.
+func (d *swDir) stallRx(seg *mem.Node) {
+	d.rxStalled = seg
+	d.rxBacklog.Store(1)
+}
+
+func (d *swDir) finishRx(seg *mem.Node) {
+	d.rxStalled = nil
+	d.rxBacklog.Store(0)
+	_ = d.pool.Put(seg)
 }
 
 // serviceTx drains the tx ring into sealed segments. It returns whether
-// it made progress. Called by the proxy; the inline sender takes the
-// same busyTx guard through sealInline.
-func (d *swDir) serviceTx(tr *trace.Tracer, ring int) bool {
+// it made progress. viaProxy reports whether a proxy worker is doing
+// the work: only then do the delivered records credit the platform's
+// avoided-crossing counter — an actor thread stealing this stage
+// through tryInlineOpen is blocking-path work and credits nothing.
+// The inline sender takes the same busyTx guard through sealInline.
+func (d *swDir) serviceTx(tr *trace.Tracer, ring int, viaProxy bool) bool {
 	if !d.busyTx.CompareAndSwap(0, 1) {
 		return false
 	}
@@ -146,7 +208,7 @@ func (d *swDir) serviceTx(tr *trace.Tracer, ring int) bool {
 			if !d.enqueueSegment(d.stalled) {
 				return progressed
 			}
-			d.noteSealedDelivered(int(d.stalled.Meta()))
+			d.noteSealedDelivered(int(d.stalled.Meta()), viaProxy)
 			d.stalled = nil
 			progressed = true
 		}
@@ -162,7 +224,7 @@ func (d *swDir) serviceTx(tr *trace.Tracer, ring int) bool {
 			d.stalled = seg
 			return progressed
 		}
-		d.noteSealedDelivered(int(seg.Meta()))
+		d.noteSealedDelivered(int(seg.Meta()), viaProxy)
 		progressed = true
 	}
 }
@@ -177,11 +239,14 @@ func (d *swDir) enqueueSegment(seg *mem.Node) bool {
 	return d.sealed.Enqueue(seg)
 }
 
-// noteSealedDelivered retires n records from the tx pipeline and
-// credits the send-side crossing pair each of them avoided.
-func (d *swDir) noteSealedDelivered(n int) {
+// noteSealedDelivered retires n records from the tx pipeline and, when
+// a proxy carried them, credits the send-side crossing pair each of
+// them avoided.
+func (d *swDir) noteSealedDelivered(n int, viaProxy bool) {
 	d.txInflight.Add(-int64(n))
-	d.plat.NoteCrossingsAvoided(2 * uint64(n))
+	if viaProxy {
+		d.plat.NoteCrossingsAvoided(2 * uint64(n))
+	}
 }
 
 // packSegment seals a prefix of d.pending into one segment and returns
@@ -258,15 +323,21 @@ func (d *swDir) serviceRx(tr *trace.Tracer, ring int) bool {
 	defer d.busyRx.Store(0)
 	progressed := false
 	delivered := 0
-	for d.rxSpace() {
-		seg, ok := d.sealed.Dequeue()
-		if !ok {
+	for {
+		seg := d.nextSealed()
+		if seg == nil {
 			break
 		}
-		n := d.openSegment(seg, tr, ring, true)
-		_ = d.pool.Put(seg)
+		n, done := d.openSegment(seg, tr, ring, true)
 		delivered += n
-		progressed = true
+		if n > 0 || done {
+			progressed = true
+		}
+		if !done {
+			d.stallRx(seg)
+			break
+		}
+		d.finishRx(seg)
 	}
 	if delivered > 0 && d.wakeRecv != nil {
 		d.wakeRecv()
@@ -274,63 +345,72 @@ func (d *swDir) serviceRx(tr *trace.Tracer, ring int) bool {
 	return progressed
 }
 
-// openSegment authenticates one sealed segment and fans its records
-// out onto the rx ring, returning how many were delivered. A segment
-// that fails authentication or the replay check is shed whole; a
-// record that finds the pool starved or the ring full is shed alone —
-// both count rxDropped (switchless receive failures are shed at the
-// proxy rather than surfaced to Recv, which only ever sees good
+// openSegment opens one sealed segment onto the rx ring — decrypting
+// and replay-checking on first entry, resuming from the stall cursor
+// (rxOff into the still-decrypted rxScratch) otherwise — and returns
+// how many records it delivered this pass plus whether the segment is
+// finished. A segment that fails authentication or the replay check is
+// shed whole and counts rxDropped; a record that finds the pool or the
+// rx ring momentarily exhausted is NEVER shed — the pass stops, the
+// caller stalls the segment, and the fan-out resumes from the cursor
+// once receivers return capacity (switchless receive failures are shed
+// at the proxy rather than surfaced to Recv, which only ever sees good
 // records). viaProxy credits the receive-side avoided-crossing pair
 // and the relayed counter; the inline path counts inline instead.
 // Guarded by busyRx.
-func (d *swDir) openSegment(seg *mem.Node, tr *trace.Tracer, ring int, viaProxy bool) int {
-	blob := seg.Payload()
+func (d *swDir) openSegment(seg *mem.Node, tr *trace.Tracer, ring int, viaProxy bool) (int, bool) {
 	var hintEnq int64
 	var openStart time.Time
 	if tr != nil {
 		var tid uint64
 		tid, _, hintEnq = seg.Trace()
-		if tid != 0 {
+		if tid != 0 && !d.rxResume {
 			openStart = time.Now()
 		}
 	}
-	count := uint64(seg.Meta())
-	if count == 0 {
-		count = 1
+	if !d.rxResume {
+		blob := seg.Payload()
+		count := uint64(seg.Meta())
+		if count == 0 {
+			count = 1
+		}
+		plain, err := d.cipher.Open(d.rxScratch[:0], blob, nil)
+		if err != nil {
+			d.rxDropped.Add(count)
+			return 0, true
+		}
+		d.rxScratch = plain
+		if seq := ecrypto.BlobCounter(blob); seq <= d.lastSeq {
+			d.rxDropped.Add(count)
+			return 0, true
+		} else {
+			d.lastSeq = seq
+		}
+		d.rxOff = 0
 	}
-	plain, err := d.cipher.Open(d.rxScratch[:0], blob, nil)
-	if err != nil {
-		d.rxDropped.Add(count)
-		return 0
-	}
-	d.rxScratch = plain
-	if seq := ecrypto.BlobCounter(blob); seq <= d.lastSeq {
-		d.rxDropped.Add(count)
-		return 0
-	} else {
-		d.lastSeq = seq
-	}
+	plain := d.rxScratch
 	delivered := 0
+	stalled := false
 	var lastCtx trace.Ctx
-	for off := 0; off+segHdr <= len(plain); {
+	off := d.rxOff
+	for off+segHdr <= len(plain) {
 		rlen := int(binary.LittleEndian.Uint32(plain[off:]))
-		off += segHdr
-		if rlen < 0 || off+rlen > len(plain) {
+		if rlen < 0 || off+segHdr+rlen > len(plain) {
 			// Authenticated framing can only be malformed by a sender
 			// bug; shed the remainder rather than deliver garbage.
 			d.rxDropped.Add(1)
+			off = len(plain)
 			break
 		}
-		rec := plain[off : off+rlen]
-		off += rlen
+		rec := plain[off+segHdr : off+segHdr+rlen]
 		var ctx trace.Ctx
 		if d.trailer {
 			rec, ctx = trace.SplitTrailer(rec)
 		}
 		node := d.pool.Get()
 		if node == nil {
-			d.rxDropped.Add(1)
-			continue
+			stalled = true
+			break
 		}
 		_ = node.SetPayload(rec) // bounded by the sender's MaxPayload
 		if ctx.Traced() {
@@ -343,11 +423,14 @@ func (d *swDir) openSegment(seg *mem.Node, tr *trace.Tracer, ring int, viaProxy 
 		}
 		if !d.rx.Enqueue(node) {
 			_ = d.pool.Put(node)
-			d.rxDropped.Add(1)
-			continue
+			stalled = true
+			break
 		}
 		delivered++
+		off += segHdr + rlen
 	}
+	d.rxOff = off
+	d.rxResume = stalled
 	if delivered > 0 {
 		if viaProxy {
 			d.relayed.Add(uint64(delivered))
@@ -375,7 +458,7 @@ func (d *swDir) openSegment(seg *mem.Node, tr *trace.Tracer, ring int, viaProxy 
 			Start: openStart.UnixNano(), Dur: int64(now.Sub(openStart)),
 		})
 	}
-	return delivered
+	return delivered, !stalled
 }
 
 // swCall is one RunUntrusted request relayed through a proxy.
@@ -415,7 +498,7 @@ type swProxy struct {
 func (p *swProxy) sweep() bool {
 	progressed := false
 	for _, d := range p.dirs {
-		if d.serviceTx(p.tr, p.ring) {
+		if d.serviceTx(p.tr, p.ring, true) {
 			progressed = true
 		}
 		if d.serviceRx(p.tr, p.ring) {
@@ -453,7 +536,7 @@ func (p *swProxy) idle() bool {
 		if d.txInflight.Load() > 0 && d.sealed.Len() < d.sealed.Cap() {
 			return false
 		}
-		if !d.sealed.Empty() && d.rxSpace() {
+		if (!d.sealed.Empty() || d.rxBacklog.Load() != 0) && d.rxSpace() {
 			return false
 		}
 	}
@@ -597,6 +680,8 @@ func (rt *Runtime) buildSwitchless(cfg Config) error {
 	}
 	// Pin a TCS slot in every enclave each proxy services: the resident
 	// switchless worker of the paper, entered once instead of per call.
+	// No proxy has started yet, so on failure releasing the slots
+	// already pinned is the only construction state to unwind.
 	for _, p := range sw.proxies {
 		entered := make(map[string]bool)
 		for _, inst := range rt.actors {
@@ -617,6 +702,11 @@ func (rt *Runtime) buildSwitchless(cfg Config) error {
 			entered[inst.spec.Enclave] = true
 			ctx := sgx.NewContext(rt.platform)
 			if err := ctx.Enter(inst.enclave); err != nil {
+				for _, q := range sw.proxies {
+					for _, c := range q.ctxs {
+						c.Exit()
+					}
+				}
 				return err
 			}
 			p.ctxs = append(p.ctxs, ctx)
@@ -700,15 +790,17 @@ func (e *Endpoint) sendPayloadSwitchless(payload []byte, act faults.Action) erro
 func (e *Endpoint) sendSwitchless(node *mem.Node, act faults.Action, start time.Time, tctx trace.Ctx, tparent uint32, tstart time.Time) error {
 	d := e.sw
 	if d.txInflight.Load() == 0 && d.sealed.Empty() && d.busyTx.CompareAndSwap(0, 1) {
-		// Re-check under the guard: the proxy cannot run concurrently
-		// now, but an earlier pass may have left a stalled segment.
-		if d.txInflight.Load() == 0 && d.stalled == nil {
-			err := e.sealInline(d, node, start, tctx, tstart)
+		// Re-check under the guard — including sealed.Empty(): a proxy
+		// pass between the lock-free checks and the CAS may have left a
+		// stalled segment or delivered segments that fill the mbox.
+		// Only busyTx holders enqueue onto sealed, so with the guard
+		// held an empty mbox stays empty until our own enqueue, which
+		// therefore cannot fail — sealInline may seal into the caller's
+		// node in place without risking ownership of a clobbered node
+		// bouncing back on a full-mbox error.
+		if d.txInflight.Load() == 0 && d.stalled == nil && d.sealed.Empty() {
+			e.sealInline(d, node, start, tctx, tstart)
 			d.busyTx.Store(0)
-			if err != nil {
-				e.sendFailures.Add(1)
-				return err
-			}
 			d.inline.Add(1)
 			e.sent.Add(1)
 			e.noteSent(1, start)
@@ -740,8 +832,12 @@ func (e *Endpoint) sendSwitchless(node *mem.Node, act faults.Action, start time.
 }
 
 // sealInline seals node's payload as a one-record segment straight
-// onto the boundary mbox. Caller holds busyTx.
-func (e *Endpoint) sealInline(d *swDir, node *mem.Node, start time.Time, tctx trace.Ctx, tstart time.Time) error {
+// onto the boundary mbox, reusing the node in place (the plaintext is
+// replaced by ciphertext). The caller holds busyTx and must have
+// verified the sealed mbox empty under the guard: only busyTx holders
+// enqueue onto it, so the enqueue cannot fail — there is no error path
+// on which a clobbered node could be handed back for a retry.
+func (e *Endpoint) sealInline(d *swDir, node *mem.Node, start time.Time, tctx trace.Ctx, tstart time.Time) {
 	rlen := node.Len()
 	if d.trailer {
 		rlen += trace.HeaderSize
@@ -775,9 +871,8 @@ func (e *Endpoint) sealInline(d *swDir, node *mem.Node, start time.Time, tctx tr
 	}
 	stampTrace(node, tctx, enq)
 	if !d.sealed.Enqueue(node) {
-		return ErrMailboxFull
+		panic("core: switchless inline seal lost the sealed mbox verified empty under busyTx")
 	}
-	return nil
 }
 
 // recvSwitchless is Recv's switchless head: pop an already-open record
@@ -810,9 +905,9 @@ func (e *Endpoint) recvSwitchlessNode() (*mem.Node, bool) {
 	if !ok {
 		if !e.tryInlineOpen() {
 			// Empty-handed with backlog stuck behind a parked proxy
-			// (e.g. the inline open lost to pool starvation): hand the
+			// (e.g. a segment stalled on pool starvation): hand the
 			// work back rather than strand it.
-			if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+			if d.backlog() {
 				d.wakeProxy()
 			}
 			return nil, false
@@ -823,7 +918,7 @@ func (e *Endpoint) recvSwitchlessNode() (*mem.Node, bool) {
 	}
 	// Backlog behind a parked proxy (e.g. it stalled on the full ring
 	// we just drained): hand the work back.
-	if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+	if d.backlog() {
 		d.wakeProxy()
 	}
 	e.injectRecv()
@@ -846,25 +941,26 @@ func (e *Endpoint) recvSwitchlessNode() (*mem.Node, bool) {
 // delivered to the rx ring.
 func (e *Endpoint) tryInlineOpen() bool {
 	d := e.swRx
-	if d.sealed.Empty() && d.txInflight.Load() > 0 {
-		d.serviceTx(e.tr, e.owner)
+	if d.sealed.Empty() && d.rxBacklog.Load() == 0 && d.txInflight.Load() > 0 {
+		d.serviceTx(e.tr, e.owner, false)
 	}
-	if d.sealed.Empty() {
+	if d.sealed.Empty() && d.rxBacklog.Load() == 0 {
 		return false
 	}
 	if !d.busyRx.CompareAndSwap(0, 1) {
 		return false
 	}
 	defer d.busyRx.Store(0)
-	if !d.rxSpace() {
+	seg := d.nextSealed()
+	if seg == nil {
 		return false
 	}
-	seg, ok := d.sealed.Dequeue()
-	if !ok {
-		return false
+	n, done := d.openSegment(seg, e.tr, e.owner, false)
+	if done {
+		d.finishRx(seg)
+	} else {
+		d.stallRx(seg)
 	}
-	n := d.openSegment(seg, e.tr, e.owner, false)
-	_ = d.pool.Put(seg)
 	return n > 0
 }
 
@@ -883,7 +979,7 @@ func (e *Endpoint) recvBatchSwitchless(bufs [][]byte, lens []int) (int, error) {
 	got := d.rx.DequeueBatch(nodes)
 	if got == 0 {
 		if !e.tryInlineOpen() {
-			if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+			if d.backlog() {
 				d.wakeProxy()
 			}
 			return 0, nil
@@ -892,7 +988,7 @@ func (e *Endpoint) recvBatchSwitchless(bufs [][]byte, lens []int) (int, error) {
 			return 0, nil
 		}
 	}
-	if !d.sealed.Empty() || d.txInflight.Load() > 0 {
+	if d.backlog() {
 		d.wakeProxy()
 	}
 	e.injectRecv()
@@ -944,7 +1040,10 @@ type SwitchlessReport struct {
 	// Inline counts records sealed or opened inline while a proxy was
 	// parked (the blocking fallback).
 	Inline uint64
-	// Dropped counts records shed at open (auth, replay, starvation).
+	// Dropped counts records shed at open: auth or replay failures,
+	// plus the narrow race of losing a pool node or ring slot to a
+	// concurrent consumer after the affordability check. Segments that
+	// simply lack rx capacity stall and retry instead of counting here.
 	Dropped uint64
 	// CrossingsAvoided and Parks mirror the platform counters.
 	CrossingsAvoided uint64

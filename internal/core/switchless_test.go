@@ -174,6 +174,77 @@ func TestSwitchlessBurstFIFO(t *testing.T) {
 	}
 }
 
+// TestSwitchlessTightPoolNoShed sizes the node pool well below
+// SegmentMax, so one direction cycles the whole pool and the open half
+// routinely cannot afford a coalesced segment's full record run — at
+// times every pool node is itself a sealed segment, so the run can
+// never be affordable all at once. The segment must stall and drain
+// incrementally as receivers return nodes: every record a successful
+// Send accepted arrives in order, none shed. (The pre-fix rxSpace
+// gated opening on a single free node and shed the tail of the segment
+// as rxDropped.)
+func TestSwitchlessTightPoolNoShed(t *testing.T) {
+	a, b, _ := buildPairSwitchless(t, 16, 8, 256, 1)
+	const total = 300
+	sent, got := 0, 0
+	buf := make([]byte, 256)
+	deadline := time.Now().Add(20 * time.Second)
+	for got < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled: sent=%d got=%d tx=%d sealed=%d rx=%d dropped=%d rxBacklog=%d free=%d",
+				sent, got, a.sw.tx.Len(), a.sw.sealed.Len(), a.sw.rx.Len(),
+				a.sw.rxDropped.Load(), a.sw.rxBacklog.Load(), a.sw.pool.Free())
+		}
+		for sent < total {
+			if err := a.Send([]byte(fmt.Sprintf("t%04d", sent))); err != nil {
+				if errors.Is(err, ErrMailboxFull) || errors.Is(err, ErrPoolEmpty) {
+					break // backpressure, not loss: drain and retry
+				}
+				t.Fatalf("Send %d: %v", sent, err)
+			}
+			sent++
+		}
+		n, ok, err := b.Recv(buf)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", got, err)
+		}
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if want := fmt.Sprintf("t%04d", got); string(buf[:n]) != want {
+			t.Fatalf("Recv %d = %q, want %q", got, buf[:n], want)
+		}
+		got++
+	}
+	if dropped := a.sw.rxDropped.Load(); dropped != 0 {
+		t.Fatalf("rxDropped = %d under tight pool, want 0", dropped)
+	}
+}
+
+// TestSwitchlessInlineCreditsNothing pins the accounting contract:
+// records sealed and opened by actor threads while the proxy stays
+// parked are blocking-path work and must not inflate the platform's
+// avoided-crossing ledger.
+func TestSwitchlessInlineCreditsNothing(t *testing.T) {
+	a, b, rt := buildPairSwitchless(t, 8, 32, 256, 1)
+	waitProxiesParked(t, rt)
+	if err := a.Send([]byte("inline")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	buf := make([]byte, 256)
+	n, ok, err := b.Recv(buf)
+	if err != nil || !ok || string(buf[:n]) != "inline" {
+		t.Fatalf("Recv = %q ok=%v err=%v", buf[:n], ok, err)
+	}
+	if got := a.sw.inline.Load(); got < 1 {
+		t.Fatalf("inline counter = %d, want >= 1", got)
+	}
+	if got := rt.Platform().Snapshot().CrossingsAvoided; got != 0 {
+		t.Fatalf("CrossingsAvoided = %d after a pure-inline round trip, want 0", got)
+	}
+}
+
 // TestSwitchlessTwoProxies is the burst test at Proxies=2: direction
 // rings are spread round-robin across proxies and traffic still arrives
 // in order.

@@ -70,3 +70,25 @@ func (e *Event) Signal() {
 	e.mu.Unlock()
 	e.cond.Signal()
 }
+
+// SignalIf wakes one waiter only when cond holds, with cond evaluated
+// under the event lock. Paired with a Wait whose onFirstWait registers
+// the sleeper, the check is race-free: either cond observes the
+// registration (the sleeper has committed and will consume the wake),
+// or the waiter's predicate — also run under the lock — observes the
+// caller's prior state change and the waiter never blocks. An unlocked
+// read of the sleeper count would leave a window between the waiter's
+// predicate check and its registration in which a release goes
+// unsignalled — a lost wakeup. Reports whether a wake was issued.
+func (e *Event) SignalIf(cond func() bool) bool {
+	e.mu.Lock()
+	ok := cond()
+	if ok {
+		e.gen++
+	}
+	e.mu.Unlock()
+	if ok {
+		e.cond.Signal()
+	}
+	return ok
+}

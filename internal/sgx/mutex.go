@@ -99,18 +99,23 @@ func (m *Mutex) Lock(ctx *Context) {
 }
 
 // Unlock releases the mutex, signalling a sleeper (with the OCall
-// charge when inside an enclave). With no sleepers registered the
-// release is a plain in-enclave store: no transition is charged, which
-// is the whole point of the spin-then-sleep design for uncontended and
-// lightly contended locks.
+// charge when inside an enclave). The sleeper check runs under the
+// event lock (Event.SignalIf), where waiters register exactly as they
+// commit to blocking: the unlocker either observes a registration and
+// signals, or the waiter's predicate observes the release and never
+// sleeps. An unlocked sleepers read here would race a waiter between
+// its predicate check and its registration — the store lands, the
+// count reads zero, the waiter then registers and blocks on a free
+// mutex: a lost wakeup. With no sleepers registered no transition is
+// charged, which is the whole point of the spin-then-sleep design for
+// uncontended and lightly contended locks.
 func (m *Mutex) Unlock(ctx *Context) {
 	m.state.Store(0)
-	if m.sleepers.Load() == 0 {
+	if !m.ev.SignalIf(func() bool { return m.sleepers.Load() > 0 }) {
 		return
 	}
 	if ctx != nil && ctx.InEnclave() {
 		ctx.cross(faults.SiteExit)  // EEXIT for sgx_thread_set_untrusted_event
 		ctx.cross(faults.SiteEnter) // EENTER back
 	}
-	m.ev.Signal()
 }

@@ -75,6 +75,37 @@ func TestMutexCrossingAccounting(t *testing.T) {
 	}
 }
 
+// TestMutexNoLostWakeup hammers the window between a waiter's predicate
+// check and its sleeper registration. Unlock must make its sleeper
+// check under the event lock: a lock-free read can observe zero after
+// the waiter has committed to blocking but before it registered,
+// return without signalling, and leave the waiter asleep on a free
+// mutex. Two threads ping-ponging the lock hit that window within a
+// few thousand iterations; a lost wakeup shows up as one side wedging
+// after the other finishes.
+func TestMutexNoLostWakeup(t *testing.T) {
+	p := NewPlatform(WithCostModel(ZeroCostModel()))
+	m := NewMutex(p)
+	const iters = 20000
+	hammer := func(done chan<- struct{}) {
+		for i := 0; i < iters; i++ {
+			m.Lock(nil)
+			m.Unlock(nil)
+		}
+		done <- struct{}{}
+	}
+	d1, d2 := make(chan struct{}), make(chan struct{})
+	go hammer(d1)
+	go hammer(d2)
+	for _, d := range []chan struct{}{d1, d2} {
+		select {
+		case <-d:
+		case <-time.After(30 * time.Second):
+			t.Fatal("lock ping-pong wedged: lost wakeup")
+		}
+	}
+}
+
 // TestEventWaitNearMiss asserts the property the mutex fix relies on: a
 // waiter whose predicate is already false never blocks, so the caller
 // charges no transition pair.
