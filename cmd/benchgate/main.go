@@ -1,14 +1,27 @@
 // Command benchgate compares `go test -bench` output against a
-// committed baseline (BENCH_BASELINE.json) and emits GitHub Actions
-// warning annotations for regressions beyond a threshold. It is
-// deliberately warn-only: absolute ns/op on shared CI runners is too
-// noisy to gate merges on, but a >10% jump on a hot path deserves a
-// visible flag on the run.
+// committed baseline (BENCH_BASELINE.json) and gates CI on regressions.
+//
+// Two modes:
+//
+//   - warn (default): regressions emit GitHub Actions warning
+//     annotations but the exit code stays zero.
+//   - -fail: regressions fail the run — but only after a confirmation
+//     pass. Flagged benchmarks are re-run best-of-N (`go test -bench`
+//     on just those names), the re-run minima are merged in, and only
+//     benchmarks that STILL regress fail the gate. One noisy sample on
+//     a contended runner does not block a merge; a reproducible
+//     slowdown does.
+//
+// Per-benchmark noise floors live in the baseline: "default_tolerance"
+// applies to every benchmark (falling back to -threshold when absent)
+// and the "tolerances" map overrides it per benchmark — inherently
+// noisy paths get wider bands instead of a looser global gate.
 //
 // Usage:
 //
 //	go test -run xxx -bench ... -count 3 ./... | tee bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -fail -rerun-pkgs ./internal/... bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update bench.txt
 //
 // With -count N repeats, the best (minimum) ns/op per benchmark is
@@ -18,21 +31,41 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
-// Baseline is the committed reference: best ns/op per benchmark, plus
-// a note about how it was produced.
+// Baseline is the committed reference: best ns/op per benchmark, the
+// tolerance policy, and a note about how it was produced.
 type Baseline struct {
-	Note       string             `json:"note"`
+	Note string `json:"note"`
+	// DefaultTolerance is the relative regression every benchmark is
+	// allowed before flagging (0 = use the -threshold flag).
+	DefaultTolerance float64 `json:"default_tolerance,omitempty"`
+	// Tolerances widens (or tightens) the band for individual
+	// benchmarks, keyed by full name including sub-benchmark.
+	Tolerances map[string]float64 `json:"tolerances,omitempty"`
 	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// tolerance resolves the allowed relative regression for one benchmark.
+func (b *Baseline) tolerance(name string, fallback float64) float64 {
+	if t, ok := b.Tolerances[name]; ok {
+		return t
+	}
+	if b.DefaultTolerance > 0 {
+		return b.DefaultTolerance
+	}
+	return fallback
 }
 
 // benchLine matches one result line, e.g.
@@ -62,10 +95,91 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	return best, sc.Err()
 }
 
+// regression is one benchmark beyond its tolerance.
+type regression struct {
+	name      string
+	got, want float64
+	tolerance float64
+}
+
+// evaluate compares current results against the baseline and returns
+// the out-of-tolerance set plus the baseline entries that never ran.
+func evaluate(base *Baseline, current map[string]float64, fallback float64) (regs []regression, missing []string) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if tol := base.tolerance(name, fallback); (got-want)/want > tol {
+			regs = append(regs, regression{name: name, got: got, want: want, tolerance: tol})
+		}
+	}
+	return regs, missing
+}
+
+// rerun re-measures just the flagged benchmarks, best-of-count, and
+// merges the minima into current. Sub-benchmark names collapse to their
+// top-level function for the -bench regexp.
+func rerun(regs []regression, pkgs []string, count int, benchtime string, current map[string]float64) error {
+	tops := make(map[string]bool)
+	for _, r := range regs {
+		top := r.name
+		if i := strings.IndexByte(top, '/'); i >= 0 {
+			top = top[:i]
+		}
+		tops[top] = true
+	}
+	names := make([]string, 0, len(tops))
+	for t := range tops {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+
+	args := []string{"test", "-run", "xxx",
+		"-bench", "^(" + strings.Join(names, "|") + ")$",
+		"-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkgs...)
+	fmt.Printf("benchgate: confirming %d flagged benchmark(s): go %s\n", len(regs), strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("confirmation run: %w", err)
+	}
+	confirmed, err := parseBench(&out)
+	if err != nil {
+		return fmt.Errorf("parse confirmation run: %w", err)
+	}
+	if len(confirmed) == 0 {
+		return fmt.Errorf("confirmation run produced no results (benchmarks renamed?)")
+	}
+	for name, ns := range confirmed {
+		if prev, ok := current[name]; !ok || ns < prev {
+			current[name] = ns
+		}
+	}
+	return nil
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
-	threshold := flag.Float64("threshold", 0.10, "relative ns/op regression that triggers a warning")
-	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	threshold := flag.Float64("threshold", 0.10, "fallback relative regression tolerance when the baseline sets none")
+	failMode := flag.Bool("fail", false, "exit nonzero on confirmed regressions instead of warning")
+	rerunPkgs := flag.String("rerun-pkgs", "./...", "comma-separated packages for the -fail confirmation re-run")
+	rerunCount := flag.Int("rerun-count", 3, "repetitions for the confirmation re-run (best-of)")
+	benchtime := flag.String("benchtime", "", "-benchtime for the confirmation re-run (e.g. 20000x)")
+	update := flag.Bool("update", false, "rewrite the baseline's measurements from the input instead of comparing (tolerances are preserved)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -101,41 +215,75 @@ func main() {
 		fatalf("parse baseline: %v", err)
 	}
 
+	regs, missing := evaluate(&base, current, *threshold)
+	if *failMode && len(regs) > 0 {
+		if err := rerun(regs, strings.Split(*rerunPkgs, ","), *rerunCount, *benchtime, current); err != nil {
+			fatalf("%v", err)
+		}
+		regs, missing = evaluate(&base, current, *threshold)
+	}
+
+	severity := "warning"
+	if *failMode {
+		severity = "error"
+	}
+	flagged := make(map[string]regression, len(regs))
+	for _, r := range regs {
+		flagged[r.name] = r
+		fmt.Printf("::%s::benchgate: %s regressed %.1f%%: %.1f ns/op vs %.1f ns/op baseline (tolerance %.0f%%)\n",
+			severity, r.name, (r.got-r.want)/r.want*100, r.got, r.want, r.tolerance*100)
+	}
+	for _, name := range missing {
+		fmt.Printf("::%s::benchgate: %s is in the baseline but was not run\n", severity, name)
+	}
+
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-
-	warnings, missing := 0, 0
 	for _, name := range names {
-		want := base.Benchmarks[name]
 		got, ok := current[name]
 		if !ok {
-			fmt.Printf("::warning::benchgate: %s is in the baseline but was not run\n", name)
-			missing++
 			continue
 		}
-		delta := (got - want) / want
+		want := base.Benchmarks[name]
 		status := "ok"
-		if delta > *threshold {
-			fmt.Printf("::warning::benchgate: %s regressed %.1f%%: %.1f ns/op vs %.1f ns/op baseline\n",
-				name, delta*100, got, want)
+		if _, bad := flagged[name]; bad {
 			status = "REGRESSED"
-			warnings++
 		}
-		fmt.Printf("%-50s %10.1f ns/op  baseline %10.1f  %+6.1f%%  %s\n", name, got, want, delta*100, status)
+		fmt.Printf("%-50s %10.1f ns/op  baseline %10.1f  %+6.1f%%  %s\n",
+			name, got, want, (got-want)/want*100, status)
 	}
-	fmt.Printf("benchgate: %d benchmarks compared, %d regressions flagged, %d missing (threshold %.0f%%, warn-only)\n",
-		len(names)-missing, warnings, missing, *threshold*100)
+
+	mode := "warn-only"
+	if *failMode {
+		mode = "hard-fail"
+	}
+	fmt.Printf("benchgate: %d benchmarks compared, %d regressions, %d missing (%s)\n",
+		len(names)-len(missing), len(regs), len(missing), mode)
+	if *failMode && (len(regs) > 0 || len(missing) > 0) {
+		os.Exit(1)
+	}
 }
 
 func writeBaseline(path string, best map[string]float64) {
 	out := Baseline{
 		Note: "Best-of-N ns/op per benchmark; regenerate with: " +
 			"go test -run xxx -bench <names> -count 3 ./... | go run ./cmd/benchgate -update",
-		Benchmarks: best,
+		DefaultTolerance: 0.25,
 	}
+	// Tolerance policy survives measurement refreshes.
+	if raw, err := os.ReadFile(path); err == nil {
+		var old Baseline
+		if json.Unmarshal(raw, &old) == nil {
+			if old.DefaultTolerance > 0 {
+				out.DefaultTolerance = old.DefaultTolerance
+			}
+			out.Tolerances = old.Tolerances
+		}
+	}
+	out.Benchmarks = best
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fatalf("encode baseline: %v", err)

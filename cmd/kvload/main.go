@@ -11,14 +11,37 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/eactors/eactors-go/internal/fdlimit"
 	"github.com/eactors/eactors-go/internal/kv"
 )
+
+// openIdleConns dials and holds count idle TCP connections — ballast
+// for measuring how the server scales with mostly-idle fan-in (the
+// readiness-loop sweep in EXPERIMENTS.md). Returns a closer.
+func openIdleConns(server string, count int) (func(), error) {
+	conns := make([]net.Conn, 0, count)
+	closeAll := func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}
+	for i := 0; i < count; i++ {
+		c, err := net.DialTimeout("tcp", server, 10*time.Second)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("idle conn %d/%d: %w", i, count, err)
+		}
+		conns = append(conns, c)
+	}
+	return closeAll, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -61,9 +84,24 @@ func run() error {
 	valueSize := flag.Int("value", 128, "value bytes")
 	getRatio := flag.Float64("get-ratio", 0.9, "fraction of operations that are GETs (rest split SET/DEL 9:1)")
 	seed := flag.Int64("seed", 1, "workload PRNG seed")
+	idleConns := flag.Int("idle-conns", 0, "idle connections held open for the whole run (readiness-loop scaling ballast)")
 	flag.Parse()
 	if *server == "" {
 		return fmt.Errorf("-server is required")
+	}
+
+	if limit, err := fdlimit.Raise(); err != nil {
+		fmt.Printf("kvload: fd limit %d (raise failed: %v)\n", limit, err)
+	} else if limit > 0 {
+		fmt.Printf("kvload: fd limit %d\n", limit)
+	}
+	if *idleConns > 0 {
+		closeIdle, err := openIdleConns(*server, *idleConns)
+		if err != nil {
+			return err
+		}
+		defer closeIdle()
+		fmt.Printf("kvload: holding %d idle connections\n", *idleConns)
 	}
 
 	var ops, errs atomic.Uint64

@@ -20,6 +20,7 @@ import (
 
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/kv"
+	"github.com/eactors/eactors-go/internal/netloop"
 	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
@@ -40,6 +41,9 @@ func run() error {
 	encrypt := flag.Bool("encrypt", false, "seal every record at rest (see -key)")
 	keyHex := flag.String("key", "", "hex store encryption key (with -encrypt; empty generates an ephemeral key — persisted stores then cannot reopen)")
 	flush := flag.Duration("flush", 100*time.Millisecond, "write-back flush interval (negative = sync per drained burst)")
+	netloopOn := flag.Bool("netloop", false, "multiplex connection reads through the event-driven readiness loop (O(pollers+dispatchers) goroutines instead of one per connection)")
+	netloopPollers := flag.Int("netloop-pollers", 1, "readiness-loop poller goroutines (with -netloop)")
+	netloopDispatchers := flag.Int("netloop-dispatchers", 4, "readiness-loop dispatcher goroutines (with -netloop)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
 	metrics := flag.String("metrics", "", "serve telemetry over HTTP at this address, e.g. :9090 (enables telemetry)")
 	traceOn := flag.Bool("trace", false, "enable sampled causal tracing (exported on /debug/traces when -metrics is set)")
@@ -78,13 +82,18 @@ func run() error {
 		Telemetry:        *metrics != "",
 		Trace:            *traceOn,
 		TraceSampleEvery: *traceSample,
+		NetLoop: netloop.Config{
+			Enabled:     *netloopOn,
+			Pollers:     *netloopPollers,
+			Dispatchers: *netloopDispatchers,
+		},
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Stop()
-	fmt.Printf("kvserver: listening on %s (shards=%d trusted=%v switchless=%v encrypted=%v dir=%q)\n",
-		srv.Addr(), *shards, *trusted, *switchless && *trusted, encKey != nil, *dir)
+	fmt.Printf("kvserver: listening on %s (shards=%d trusted=%v switchless=%v encrypted=%v dir=%q netloop=%v)\n",
+		srv.Addr(), *shards, *trusted, *switchless && *trusted, encKey != nil, *dir, *netloopOn)
 	if *metrics != "" {
 		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
 		if err != nil {

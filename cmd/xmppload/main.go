@@ -13,12 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/eactors/eactors-go/internal/fdlimit"
 	"github.com/eactors/eactors-go/internal/xmpp/client"
 )
 
@@ -68,14 +70,52 @@ func run() error {
 	warmup := flag.Duration("warmup", time.Second, "warmup before measuring")
 	group := flag.String("group", "", "group-chat room: all clients join it, one sends")
 	payload := flag.Int("payload", 150, "message payload bytes")
+	idleConns := flag.Int("idle-conns", 0, "idle connections held open for the whole run (readiness-loop scaling ballast)")
 	flag.Parse()
 	if *server == "" {
 		return fmt.Errorf("-server is required")
+	}
+
+	if limit, err := fdlimit.Raise(); err != nil {
+		fmt.Printf("xmppload: fd limit %d (raise failed: %v)\n", limit, err)
+	} else if limit > 0 {
+		fmt.Printf("xmppload: fd limit %d\n", limit)
+	}
+	if *idleConns > 0 {
+		closeIdle, err := openIdleConns(*server, *idleConns)
+		if err != nil {
+			return err
+		}
+		defer closeIdle()
+		fmt.Printf("xmppload: holding %d idle connections\n", *idleConns)
 	}
 	if *group != "" {
 		return runGroup(*server, *group, *clients, *payload, *warmup, *duration)
 	}
 	return runO2O(*server, *clients, *payload, *warmup, *duration)
+}
+
+// openIdleConns dials and holds count idle TCP connections — ballast
+// for measuring how the server scales with mostly-idle fan-in (the
+// readiness-loop sweep in EXPERIMENTS.md). The connections never
+// handshake, so they sit in the CONNECTOR's await phase, watched by
+// its READER. Returns a closer.
+func openIdleConns(server string, count int) (func(), error) {
+	conns := make([]net.Conn, 0, count)
+	closeAll := func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}
+	for i := 0; i < count; i++ {
+		c, err := net.DialTimeout("tcp", server, 10*time.Second)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("idle conn %d/%d: %w", i, count, err)
+		}
+		conns = append(conns, c)
+	}
+	return closeAll, nil
 }
 
 func makePayload(n int) string {

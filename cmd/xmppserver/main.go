@@ -19,6 +19,7 @@ import (
 
 	"crypto/rand"
 
+	"github.com/eactors/eactors-go/internal/netloop"
 	"github.com/eactors/eactors-go/internal/pos"
 	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/xmpp"
@@ -38,6 +39,9 @@ func run() error {
 	switchless := flag.Bool("switchless", false, "service encrypted channels with switchless proxy workers (needs -trusted)")
 	enclaves := flag.Int("enclaves", 1, "number of enclaves hosting the XMPP eactors (when trusted)")
 	rooms := flag.String("rooms", "", "comma-separated group chats confined to dedicated enclaves")
+	netloopOn := flag.Bool("netloop", false, "multiplex connection reads through the event-driven readiness loop (O(pollers+dispatchers) goroutines instead of one per connection)")
+	netloopPollers := flag.Int("netloop-pollers", 1, "readiness-loop poller goroutines (with -netloop)")
+	netloopDispatchers := flag.Int("netloop-dispatchers", 4, "readiness-loop dispatcher goroutines (with -netloop)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 = off)")
 	metrics := flag.String("metrics", "", "serve telemetry over HTTP at this address, e.g. :9090 (enables telemetry)")
 	traceOn := flag.Bool("trace", false, "enable sampled causal tracing (exported on /debug/traces when -metrics is set)")
@@ -74,13 +78,18 @@ func run() error {
 		Telemetry:        *metrics != "",
 		Trace:            *traceOn,
 		TraceSampleEvery: *traceSample,
+		NetLoop: netloop.Config{
+			Enabled:     *netloopOn,
+			Pollers:     *netloopPollers,
+			Dispatchers: *netloopDispatchers,
+		},
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Stop()
-	fmt.Printf("xmppserver: listening on %s (shards=%d trusted=%v enclaves=%d switchless=%v)\n",
-		srv.Addr(), *shards, *trusted, *enclaves, *switchless && *trusted)
+	fmt.Printf("xmppserver: listening on %s (shards=%d trusted=%v enclaves=%d switchless=%v netloop=%v)\n",
+		srv.Addr(), *shards, *trusted, *enclaves, *switchless && *trusted, *netloopOn)
 	if *metrics != "" {
 		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
 		if err != nil {

@@ -1,0 +1,33 @@
+//go:build unix
+
+// Package fdlimit raises the process's open-file limit. Load
+// generators opening tens of thousands of sockets trip the default
+// 1024-fd soft limit long before the system under test is stressed, so
+// they lift the soft limit to the hard limit at startup and report
+// what they actually got.
+package fdlimit
+
+import "syscall"
+
+// Raise lifts RLIMIT_NOFILE's soft limit to the hard limit and returns
+// the effective soft limit. A failed setrlimit still returns the
+// current limit — callers report it and proceed; the workload then
+// fails loudly on EMFILE if the limit really is too low.
+func Raise() (uint64, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	if lim.Cur >= lim.Max {
+		return lim.Cur, nil
+	}
+	lim.Cur = lim.Max
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		var cur syscall.Rlimit
+		if gerr := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &cur); gerr == nil {
+			return cur.Cur, err
+		}
+		return 0, err
+	}
+	return lim.Cur, nil
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package fdlimit
+
+// Raise is a no-op on platforms without RLIMIT_NOFILE.
+func Raise() (uint64, error) { return 0, nil }

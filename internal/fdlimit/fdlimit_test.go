@@ -1,0 +1,30 @@
+//go:build unix
+
+package fdlimit
+
+import (
+	"syscall"
+	"testing"
+)
+
+func TestRaiseReachesHardLimit(t *testing.T) {
+	got, err := Raise()
+	if err != nil {
+		t.Fatalf("Raise: %v", err)
+	}
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		t.Fatalf("Getrlimit: %v", err)
+	}
+	if got != lim.Cur {
+		t.Fatalf("Raise reported %d, effective soft limit is %d", got, lim.Cur)
+	}
+	if lim.Cur != lim.Max {
+		t.Fatalf("soft limit %d still below hard limit %d", lim.Cur, lim.Max)
+	}
+	// Idempotent.
+	again, err := Raise()
+	if err != nil || again != got {
+		t.Fatalf("second Raise = %d, %v", again, err)
+	}
+}

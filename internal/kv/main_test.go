@@ -1,0 +1,11 @@
+package kv
+
+import (
+	"testing"
+
+	"github.com/eactors/eactors-go/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if tests leak goroutines — servers,
+// stores, and client connections must unwind on Stop/Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

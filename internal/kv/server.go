@@ -9,6 +9,7 @@ import (
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/netactors"
+	"github.com/eactors/eactors-go/internal/netloop"
 	"github.com/eactors/eactors-go/internal/pos"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
@@ -34,6 +35,13 @@ type Options struct {
 	Switchless bool
 	// Platform supplies the SGX simulation; nil creates a default one.
 	Platform *sgx.Platform
+
+	// NetLoop multiplexes connection reads through an event-driven
+	// readiness loop (internal/netloop) instead of one pump goroutine
+	// per connection: idle connections cost no goroutine and the READER
+	// drains only sockets with pending bytes. Disabled (zero) keeps the
+	// legacy per-connection pumps.
+	NetLoop netloop.Config
 
 	// Store, when non-nil, is used instead of opening one (the server
 	// then does not close it). Its shard count must equal Shards.
@@ -146,7 +154,11 @@ func Start(opts Options) (*Server, error) {
 		platform = sgx.NewPlatform()
 	}
 
-	srv := &Server{sys: netactors.NewSystem()}
+	sys, err := netactors.NewSystemNetLoop(opts.NetLoop)
+	if err != nil {
+		return nil, fmt.Errorf("kv: netloop: %w", err)
+	}
+	srv := &Server{sys: sys}
 	if opts.Store != nil {
 		if opts.Store.Shards() != opts.Shards {
 			return nil, fmt.Errorf("kv: store has %d shards, deployment wants %d", opts.Store.Shards(), opts.Shards)

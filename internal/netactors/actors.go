@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/netloop"
 	"github.com/eactors/eactors-go/internal/trace"
 )
 
@@ -23,15 +24,46 @@ type System struct {
 	table *Table
 }
 
-// NewSystem creates a networking system with an empty socket table.
+// NewSystem creates a networking system with an empty socket table and
+// legacy goroutine-per-connection read pumps.
 func NewSystem() *System { return &System{table: NewTable()} }
+
+// NewSystemNetLoop creates a networking system whose connection reads
+// are multiplexed by an event-driven readiness loop (internal/netloop):
+// idle connections cost no goroutine, and a connection is bound to its
+// READER's drain only when bytes are actually readable. With
+// cfg.Enabled false this is NewSystem. The error surfaces platforms
+// without a poller backend — callers choose between failing loudly and
+// falling back to NewSystem.
+func NewSystemNetLoop(cfg netloop.Config) (*System, error) {
+	if !cfg.Enabled {
+		return NewSystem(), nil
+	}
+	loop, err := netloop.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable()
+	t.loop = loop
+	return &System{table: t}, nil
+}
 
 // Table exposes the socket table (for custom network actors, as the
 // paper's XMPP service builds).
 func (s *System) Table() *Table { return s.table }
 
-// Shutdown closes every socket; call after the runtime has stopped.
-func (s *System) Shutdown() { s.table.CloseAll() }
+// Loop returns the readiness loop, or nil in legacy pump mode.
+func (s *System) Loop() *netloop.Loop { return s.table.loop }
+
+// Shutdown closes every socket, then the readiness loop (in that
+// order — parked fallback pollers unblock when their conns close);
+// call after the runtime has stopped.
+func (s *System) Shutdown() {
+	s.table.CloseAll()
+	if s.table.loop != nil {
+		s.table.loop.Close()
+	}
+}
 
 // controlReplyDeadline bounds the SendRetry persistence of control
 // replies (open/accept results) whose loss would wedge the requesting
@@ -194,6 +226,9 @@ type readWatch struct {
 	sock    *Socket
 	pending [][]byte // encoded frames that hit a full channel, retried first
 	tick    uint32   // per-socket trace sampling counter (trace.MaybeRoot)
+	// backlogged marks the watch as owned by the loop-mode READER's
+	// backpressure backlog (pending frames) rather than the ready queue.
+	backlogged bool
 }
 
 // ReaderSpec builds the READER eactor: clients watch connection sockets
@@ -201,7 +236,15 @@ type readWatch struct {
 // MsgClosed at EOF. Inbound chunks are forwarded through the channel's
 // batch fast path: one SendBatch (one pool trip, one mbox CAS, one
 // doorbell) per socket per invocation instead of one per chunk.
+//
+// In readiness-loop mode (NewSystemNetLoop) the READER drains only the
+// sockets the loop queued — O(ready) per invocation instead of an
+// O(watches) scan — so 10k+ mostly-idle connections cost neither
+// goroutines nor drain cycles.
 func (s *System) ReaderSpec(name string, worker int, channels ...string) core.Spec {
+	if s.table.loop != nil {
+		return s.loopReaderSpec(name, worker, channels...)
+	}
 	table := s.table
 	var eps []*core.Endpoint
 	var watches []*readWatch

@@ -1,0 +1,12 @@
+package netactors
+
+import (
+	"testing"
+
+	"github.com/eactors/eactors-go/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if tests leak goroutines — read pumps,
+// write pumps, loop pollers and dispatchers must all unwind when their
+// system shuts down.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

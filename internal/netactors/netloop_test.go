@@ -1,0 +1,634 @@
+package netactors
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/core"
+	"github.com/eactors/eactors-go/internal/netloop"
+	"github.com/eactors/eactors-go/internal/sgx"
+)
+
+// startEcho deploys the full OPENER/ACCEPTER/READER/WRITER echo
+// pipeline on sys and returns the bound address. Used by both legacy-
+// and loop-mode tests so the two paths run identical traffic.
+func startEcho(t *testing.T, sys *System) (addr string, stop func()) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+
+	const (
+		stOpen = iota
+		stWatchListener
+		stServe
+	)
+	type echoState struct {
+		phase   int
+		scratch []byte
+	}
+
+	echo := core.Spec{
+		Name:   "echo",
+		Worker: 0,
+		State:  &echoState{},
+		Body: func(self *core.Self) {
+			st := self.State.(*echoState)
+			opener := self.MustChannel("open")
+			accept := self.MustChannel("accept")
+			read := self.MustChannel("read")
+			write := self.MustChannel("write")
+			buf := make([]byte, 2048)
+
+			switch st.phase {
+			case stOpen:
+				m, _ := (Msg{Type: MsgListen, Data: []byte("127.0.0.1:0")}).AppendTo(nil)
+				if opener.Send(m) == nil {
+					st.phase = stWatchListener
+					self.Progress()
+				}
+			case stWatchListener:
+				n, ok, err := opener.Recv(buf)
+				if err != nil || !ok {
+					return
+				}
+				msg, err := ParseMsg(buf[:n])
+				if err != nil || msg.Type != MsgOpenOK {
+					t.Errorf("listen failed: %+v err=%v", msg, err)
+					self.StopRuntime()
+					return
+				}
+				addrCh <- string(msg.Data)
+				w, _ := (Msg{Type: MsgWatch, Sock: msg.Sock}).AppendTo(nil)
+				if accept.Send(w) == nil {
+					st.phase = stServe
+					self.Progress()
+				}
+			case stServe:
+				if n, ok, _ := accept.Recv(buf); ok {
+					if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgAccepted {
+						w, _ := (Msg{Type: MsgWatch, Sock: msg.Sock}).AppendTo(st.scratch[:0])
+						st.scratch = w
+						_ = read.Send(w) //sendcheck:ok
+						self.Progress()
+					}
+				}
+				for i := 0; i < drainBatch; i++ {
+					n, ok, _ := read.Recv(buf)
+					if !ok {
+						break
+					}
+					if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgData {
+						out, _ := (Msg{Type: MsgData, Sock: msg.Sock, Data: msg.Data}).AppendTo(nil)
+						_ = write.Send(out) //sendcheck:ok
+						self.Progress()
+					}
+				}
+			}
+		},
+	}
+
+	cfg := core.Config{
+		Workers: []core.WorkerSpec{{}, {}},
+		Actors: []core.Spec{
+			echo,
+			sys.OpenerSpec("opener", 1, "open"),
+			sys.AccepterSpec("accepter", 1, "accept"),
+			sys.ReaderSpec("reader", 1, "read"),
+			sys.WriterSpec("writer", 1, "write"),
+			sys.CloserSpec("closer", 1, "close"),
+		},
+		Channels: []core.ChannelSpec{
+			{Name: "open", A: "echo", B: "opener"},
+			{Name: "accept", A: "echo", B: "accepter"},
+			{Name: "read", A: "echo", B: "reader", Capacity: 256},
+			{Name: "write", A: "echo", B: "writer", Capacity: 256},
+			{Name: "close", A: "echo", B: "closer"},
+		},
+	}
+	rt, err := core.NewRuntime(sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())), cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		rt.Stop()
+		t.Fatal("no listen address from the pipeline")
+	}
+	return addr, rt.Stop
+}
+
+// echoRounds runs request/response rounds against an echo server.
+func echoRounds(t *testing.T, addr string, rounds int, payload []byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	got := make([]byte, len(payload))
+	for round := 0; round < rounds; round++ {
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatalf("round %d write: %v", round, err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		n := 0
+		for n < len(payload) {
+			k, err := conn.Read(got[n:])
+			if err != nil {
+				t.Fatalf("round %d read after %d bytes: %v", round, n, err)
+			}
+			n += k
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round %d echo = %q, want %q", round, got, payload)
+		}
+	}
+}
+
+// TestEchoPipelineNetLoop is TestEchoPipeline with connection reads
+// multiplexed by the readiness loop instead of per-connection pumps.
+func TestEchoPipelineNetLoop(t *testing.T) {
+	sys, err := NewSystemNetLoop(netloop.Config{Enabled: true, Dispatchers: 2})
+	if err != nil {
+		t.Fatalf("NewSystemNetLoop: %v", err)
+	}
+	defer sys.Shutdown()
+	if sys.Loop() == nil {
+		t.Fatal("loop mode requested but Loop() is nil")
+	}
+	addr, stop := startEcho(t, sys)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			echoRounds(t, addr, 5, []byte(fmt.Sprintf("loop client %d payload", c)))
+		}(c)
+	}
+	wg.Wait()
+	if sys.Loop().Dispatches() == 0 {
+		t.Fatal("echo traffic flowed without any loop dispatches — loop not bound")
+	}
+}
+
+// TestNetLoopSlowLoris drips bytes one at a time through the loop-bound
+// pipeline: every partial frame must surface and echo back intact.
+func TestNetLoopSlowLoris(t *testing.T) {
+	sys, err := NewSystemNetLoop(netloop.Config{Enabled: true})
+	if err != nil {
+		t.Fatalf("NewSystemNetLoop: %v", err)
+	}
+	defer sys.Shutdown()
+	addr, stop := startEcho(t, sys)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	msg := []byte("dripped one byte at a time")
+	for _, b := range msg {
+		if _, err := conn.Write([]byte{b}); err != nil {
+			t.Fatalf("drip write: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got := make([]byte, len(msg))
+	n := 0
+	for n < len(msg) {
+		k, err := conn.Read(got[n:])
+		if err != nil {
+			t.Fatalf("read after %d bytes: %v", n, err)
+		}
+		n += k
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+// TestNetLoopChurn slams the accept path with short-lived connections:
+// accept, one echo round, close — the loop's registration set must not
+// leak and late readiness events on recycled fds must be ignored.
+func TestNetLoopChurn(t *testing.T) {
+	sys, err := NewSystemNetLoop(netloop.Config{Enabled: true, Dispatchers: 2})
+	if err != nil {
+		t.Fatalf("NewSystemNetLoop: %v", err)
+	}
+	defer sys.Shutdown()
+	addr, stop := startEcho(t, sys)
+	defer stop()
+
+	rounds := 60
+	if testing.Short() {
+		rounds = 15
+	}
+	for i := 0; i < rounds; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if i%2 == 0 {
+			payload := []byte("churn")
+			if _, err := conn.Write(payload); err != nil {
+				t.Fatalf("churn write %d: %v", i, err)
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			got := make([]byte, len(payload))
+			n := 0
+			for n < len(payload) {
+				k, err := conn.Read(got[n:])
+				if err != nil {
+					t.Fatalf("churn read %d: %v", i, err)
+				}
+				n += k
+			}
+		}
+		conn.Close()
+	}
+	// Registrations unwind as MsgClosed lands for each dead conn.
+	deadline := time.Now().Add(10 * time.Second)
+	for sys.Loop().Registered() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("churn leaked %d loop registrations", sys.Loop().Registered())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNetLoopReaderEOF is the MsgClosed path over a real TCP socket
+// bound to the readiness loop.
+func TestNetLoopReaderEOF(t *testing.T) {
+	sys, err := NewSystemNetLoop(netloop.Config{Enabled: true})
+	if err != nil {
+		t.Fatalf("NewSystemNetLoop: %v", err)
+	}
+	defer sys.Shutdown()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			connCh <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	server := <-connCh
+	defer server.Close()
+	sock := sys.Table().AddConn(server)
+
+	gotClosed := make(chan struct{}, 1)
+	app := core.Spec{
+		Name:   "app",
+		Worker: 0,
+		Body: func(self *core.Self) {
+			read := self.MustChannel("read")
+			buf := make([]byte, 2048)
+			n, ok, _ := read.Recv(buf)
+			if !ok {
+				return
+			}
+			if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgClosed && msg.Sock == sock.ID() {
+				select {
+				case gotClosed <- struct{}{}:
+				default:
+				}
+			}
+			self.Progress()
+		},
+		Init: func(self *core.Self) error {
+			w, _ := (Msg{Type: MsgWatch, Sock: sock.ID()}).AppendTo(nil)
+			return self.MustChannel("read").Send(w)
+		},
+	}
+	cfg := core.Config{
+		Workers: []core.WorkerSpec{{}},
+		Actors: []core.Spec{
+			app,
+			sys.ReaderSpec("reader", 0, "read"),
+		},
+		Channels: []core.ChannelSpec{{Name: "read", A: "app", B: "reader"}},
+	}
+	rt, err := core.NewRuntime(sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())), cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer rt.Stop()
+
+	_ = client.Close()
+	select {
+	case <-gotClosed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("MsgClosed never delivered in loop mode")
+	}
+}
+
+// TestNetLoopPipeFallback watches a net.Pipe conn (no raw fd) under a
+// loop-enabled system: the socket must fall back to a legacy pump and
+// still deliver data and EOF.
+func TestNetLoopPipeFallback(t *testing.T) {
+	sys, err := NewSystemNetLoop(netloop.Config{Enabled: true})
+	if err != nil {
+		t.Fatalf("NewSystemNetLoop: %v", err)
+	}
+	defer sys.Shutdown()
+
+	client, server := net.Pipe()
+	sock := sys.Table().AddConn(server)
+
+	gotData := make(chan []byte, 4)
+	gotClosed := make(chan struct{}, 1)
+	app := core.Spec{
+		Name:   "app",
+		Worker: 0,
+		Body: func(self *core.Self) {
+			read := self.MustChannel("read")
+			buf := make([]byte, 2048)
+			n, ok, _ := read.Recv(buf)
+			if !ok {
+				return
+			}
+			if msg, err := ParseMsg(buf[:n]); err == nil && msg.Sock == sock.ID() {
+				switch msg.Type {
+				case MsgData:
+					gotData <- append([]byte(nil), msg.Data...)
+				case MsgClosed:
+					select {
+					case gotClosed <- struct{}{}:
+					default:
+					}
+				}
+			}
+			self.Progress()
+		},
+		Init: func(self *core.Self) error {
+			w, _ := (Msg{Type: MsgWatch, Sock: sock.ID()}).AppendTo(nil)
+			return self.MustChannel("read").Send(w)
+		},
+	}
+	cfg := core.Config{
+		Workers: []core.WorkerSpec{{}},
+		Actors: []core.Spec{
+			app,
+			sys.ReaderSpec("reader", 0, "read"),
+		},
+		Channels: []core.ChannelSpec{{Name: "read", A: "app", B: "reader"}},
+	}
+	rt, err := core.NewRuntime(sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())), cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer rt.Stop()
+
+	go func() {
+		_, _ = client.Write([]byte("via fallback pump"))
+		_ = client.Close()
+	}()
+	select {
+	case data := <-gotData:
+		if !bytes.Equal(data, []byte("via fallback pump")) {
+			t.Fatalf("fallback data = %q", data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fallback pump delivered nothing")
+	}
+	select {
+	case <-gotClosed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fallback pump never delivered MsgClosed")
+	}
+	if sys.Loop().Registered() != 0 {
+		t.Fatalf("pipe conn registered with the loop: %d", sys.Loop().Registered())
+	}
+}
+
+// TestNetLoopHandoff moves a watched socket between two READers — the
+// XMPP connector's handshake-to-shard handoff — while the client keeps
+// writing. No bytes may be lost and the second READER must keep
+// receiving after the first unbinds.
+func TestNetLoopHandoff(t *testing.T) {
+	sys, err := NewSystemNetLoop(netloop.Config{Enabled: true, Dispatchers: 2})
+	if err != nil {
+		t.Fatalf("NewSystemNetLoop: %v", err)
+	}
+	defer sys.Shutdown()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			connCh <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	server := <-connCh
+	defer server.Close()
+	sock := sys.Table().AddConn(server)
+
+	var mu sync.Mutex
+	fromA, fromB := []byte(nil), []byte(nil)
+	handedOff := make(chan struct{})
+
+	const handoffAt = 32 // bytes seen by A before it hands the socket to B
+
+	appA := core.Spec{
+		Name:   "app-a",
+		Worker: 0,
+		Init: func(self *core.Self) error {
+			w, _ := (Msg{Type: MsgWatch, Sock: sock.ID()}).AppendTo(nil)
+			return self.MustChannel("read-a").Send(w)
+		},
+		Body: func(self *core.Self) {
+			read := self.MustChannel("read-a")
+			buf := make([]byte, 2048)
+			n, ok, _ := read.Recv(buf)
+			if !ok {
+				return
+			}
+			self.Progress()
+			msg, err := ParseMsg(buf[:n])
+			if err != nil || msg.Type != MsgData {
+				return
+			}
+			mu.Lock()
+			fromA = append(fromA, msg.Data...)
+			cut := len(fromA) >= handoffAt
+			mu.Unlock()
+			if cut {
+				select {
+				case <-handedOff:
+				default:
+					u, _ := (Msg{Type: MsgUnwatch, Sock: sock.ID()}).AppendTo(nil)
+					if read.Send(u) == nil {
+						close(handedOff)
+					}
+				}
+			}
+		},
+	}
+	appB := core.Spec{
+		Name:   "app-b",
+		Worker: 0,
+		Body: func(self *core.Self) {
+			read := self.MustChannel("read-b")
+			select {
+			case <-handedOff:
+			default:
+				return // A still owns the socket
+			}
+			buf := make([]byte, 2048)
+			n, ok, _ := read.Recv(buf)
+			if !ok {
+				// Watch exactly once after handoff.
+				mu.Lock()
+				watched := fromB != nil
+				mu.Unlock()
+				if !watched {
+					w, _ := (Msg{Type: MsgWatch, Sock: sock.ID()}).AppendTo(nil)
+					if read.Send(w) == nil {
+						mu.Lock()
+						fromB = []byte{}
+						mu.Unlock()
+						self.Progress()
+					}
+				}
+				return
+			}
+			self.Progress()
+			if msg, err := ParseMsg(buf[:n]); err == nil && msg.Type == MsgData {
+				mu.Lock()
+				fromB = append(fromB, msg.Data...)
+				mu.Unlock()
+			}
+		},
+	}
+
+	cfg := core.Config{
+		Workers: []core.WorkerSpec{{}, {}},
+		Actors: []core.Spec{
+			appA, appB,
+			sys.ReaderSpec("reader-a", 1, "read-a"),
+			sys.ReaderSpec("reader-b", 1, "read-b"),
+		},
+		Channels: []core.ChannelSpec{
+			{Name: "read-a", A: "app-a", B: "reader-a", Capacity: 256},
+			{Name: "read-b", A: "app-b", B: "reader-b", Capacity: 256},
+		},
+	}
+	rt, err := core.NewRuntime(sgx.NewPlatform(sgx.WithCostModel(sgx.ZeroCostModel())), cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer rt.Stop()
+
+	// Stream numbered 8-byte records so loss or reordering is visible.
+	const records = 200
+	go func() {
+		for i := 0; i < records; i++ {
+			if _, err := client.Write([]byte(fmt.Sprintf("r%06d\n", i))); err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var total []byte
+	deadline := time.Now().Add(30 * time.Second)
+	want := records * 8
+	for {
+		mu.Lock()
+		total = append(append([]byte(nil), fromA...), fromB...)
+		mu.Unlock()
+		if len(total) >= want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d bytes across handoff (A=%d B=%d)",
+				len(total), want, len(fromA), len(fromB))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < records; i++ {
+		rec := []byte(fmt.Sprintf("r%06d\n", i))
+		if !bytes.Equal(total[i*8:i*8+8], rec) {
+			t.Fatalf("record %d corrupted across handoff: %q", i, total[i*8:i*8+8])
+		}
+	}
+	mu.Lock()
+	gotB := len(fromB)
+	mu.Unlock()
+	if gotB == 0 {
+		t.Fatal("second READER never received data after handoff")
+	}
+}
+
+// TestNetLoopMixedSoak runs a legacy system and a loop system side by
+// side under concurrent clients — the -race soak for shared-state
+// violations between the two paths.
+func TestNetLoopMixedSoak(t *testing.T) {
+	legacy := NewSystem()
+	defer legacy.Shutdown()
+	loopSys, err := NewSystemNetLoop(netloop.Config{Enabled: true, Dispatchers: 2})
+	if err != nil {
+		t.Fatalf("NewSystemNetLoop: %v", err)
+	}
+	defer loopSys.Shutdown()
+
+	legacyAddr, stopLegacy := startEcho(t, legacy)
+	defer stopLegacy()
+	loopAddr, stopLoop := startEcho(t, loopSys)
+	defer stopLoop()
+
+	rounds := 10
+	if testing.Short() {
+		rounds = 3
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		for _, addr := range []string{legacyAddr, loopAddr} {
+			wg.Add(1)
+			go func(c int, addr string) {
+				defer wg.Done()
+				echoRounds(t, addr, rounds, []byte(fmt.Sprintf("soak client %d", c)))
+			}(c, addr)
+		}
+	}
+	wg.Wait()
+}

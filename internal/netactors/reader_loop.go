@@ -1,0 +1,130 @@
+package netactors
+
+import (
+	"github.com/eactors/eactors-go/internal/core"
+)
+
+// readyDrainBudget bounds the ready-queue pops per READER invocation,
+// keeping bodies short as the actor model demands (drainBatch frames
+// per popped socket, so one invocation moves at most budget×drainBatch
+// frames).
+const readyDrainBudget = 64
+
+// loopReaderSpec is ReaderSpec's readiness-loop variant. The watch set
+// lives in a map keyed by socket id; the loop's dispatchers queue a
+// socket (Socket.markReady) exactly when its inbox gains bytes or hits
+// EOF, and the body drains exactly the queued sockets. Sockets whose
+// forwarding channel filled (pending frames) move to a small backlog
+// scanned every invocation — the bounded few under backpressure, not
+// the whole watch set.
+func (s *System) loopReaderSpec(name string, worker int, channels ...string) core.Spec {
+	table := s.table
+	rq := newReadyQueue()
+	watches := make(map[uint32]*readWatch)
+	var backlog []*readWatch
+	var eps []*core.Endpoint
+	var scratch []byte
+	var stage core.SendStage
+	recvBufs, recvLens := core.BatchBufs(drainBatch, core.DefaultNodePayload)
+	return core.Spec{
+		Name:   name,
+		Worker: worker,
+		Init: func(self *core.Self) error {
+			eps = eps[:0]
+			for _, ch := range channels {
+				ep, err := self.Channel(ch)
+				if err != nil {
+					return err
+				}
+				eps = append(eps, ep)
+			}
+			return nil
+		},
+		Body: func(self *core.Self) {
+			// Control traffic: watch/unwatch.
+			for _, ep := range eps {
+				n, _ := self.RecvBatch(ep, recvBufs, recvLens)
+				for i := 0; i < n; i++ {
+					msg, err := ParseMsg(recvBufs[i][:recvLens[i]])
+					if err != nil {
+						continue
+					}
+					switch msg.Type {
+					case MsgWatch:
+						if sock, ok := table.Get(msg.Sock); ok && sock.conn != nil {
+							sock.SetWake(self.Waker())
+							watches[sock.id] = &readWatch{ep: ep, sock: sock}
+							// Install the queue before the pump binding so
+							// bytes racing the watch have a landing spot.
+							sock.SetReady(rq)
+							sock.startReadPump()
+							self.Progress()
+						}
+					case MsgUnwatch:
+						if w, ok := watches[msg.Sock]; ok && w.ep == ep {
+							delete(watches, msg.Sock)
+							w.sock.unbindReady(rq)
+							self.Progress()
+						}
+					}
+				}
+			}
+
+			// Backpressured sockets: frames that hit a full forwarding
+			// channel retry until the consumer drains.
+			live := backlog[:0]
+			for _, w := range backlog {
+				if watches[w.sock.id] != w {
+					continue // unwatched while backlogged
+				}
+				if !s.drainSocket(self, w, &stage, &scratch) {
+					delete(watches, w.sock.id) // MsgClosed delivered
+					continue
+				}
+				if len(w.pending) > 0 {
+					live = append(live, w)
+					continue
+				}
+				w.backlogged = false
+				if w.sock.hasWork() {
+					w.sock.markReady()
+				}
+			}
+			backlog = live
+
+			// Ready sockets: exactly the ones the loop queued.
+			for popped := 0; popped < readyDrainBudget; popped++ {
+				sock := rq.pop()
+				if sock == nil {
+					break
+				}
+				table.stats.bound.Add(-1)
+				sock.queued.Store(false)
+				w, ok := watches[sock.id]
+				if !ok {
+					// Not (or no longer) ours — a handoff raced the drain.
+					// Its current owner's queue gets it back.
+					if sock.hasWork() {
+						sock.markReady()
+					}
+					continue
+				}
+				if w.backlogged {
+					continue // the backlog pass owns this socket
+				}
+				if !s.drainSocket(self, w, &stage, &scratch) {
+					delete(watches, sock.id) // MsgClosed delivered
+					continue
+				}
+				if len(w.pending) > 0 {
+					w.backlogged = true
+					backlog = append(backlog, w)
+					continue
+				}
+				if sock.hasWork() {
+					sock.markReady() // partial drain: stay scheduled
+				}
+			}
+		},
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
+
+	"github.com/eactors/eactors-go/internal/netloop"
 )
 
 // inboxCap bounds the per-socket receive queue between the pump
@@ -24,6 +27,9 @@ type tableStats struct {
 	dials    atomic.Uint64
 	accepts  atomic.Uint64
 	dropped  atomic.Uint64
+	// bound gauges the sockets currently queued for a READER drain
+	// (netloop mode): data arrived and the drain has not run yet.
+	bound atomic.Int64
 }
 
 // Socket wraps one connection or listener registered in a Table.
@@ -44,13 +50,22 @@ type Socket struct {
 	// outbox feeds the write pump; a full outbox means the peer is not
 	// draining and frames are dropped (slow-consumer policy), so the
 	// WRITER eactor never blocks on a stalled connection.
-	outbox        chan []byte
-	quit          chan struct{}
-	dropped       atomic.Uint64
-	pumpOnce      sync.Once
-	writePumpOnce sync.Once
-	closeOnce     sync.Once
-	closed        atomic.Bool
+	outbox       chan []byte
+	quit         chan struct{}
+	dropped      atomic.Uint64
+	pumpOnce     sync.Once
+	writeRunning atomic.Bool
+	closeOnce    sync.Once
+	closed       atomic.Bool
+
+	// Readiness-loop state (nil/zero in legacy pump mode). loop is the
+	// table's loop, rc/reg the socket's registration; ready points at
+	// the watching READER's ready queue and queued dedups membership.
+	loop   *netloop.Loop
+	rc     syscall.RawConn
+	reg    *netloop.Reg
+	ready  atomic.Pointer[readyQueue]
+	queued atomic.Bool
 }
 
 // Dropped returns the number of outbound frames dropped because the
@@ -69,6 +84,10 @@ type Table struct {
 
 	writeDeadline time.Duration
 
+	// loop, when non-nil, multiplexes connection reads through a
+	// readiness loop instead of per-connection pump goroutines.
+	loop *netloop.Loop
+
 	stats tableStats
 }
 
@@ -79,6 +98,9 @@ func NewTable() *Table {
 		writeDeadline: time.Second,
 	}
 }
+
+// Loop returns the table's readiness loop, or nil in legacy pump mode.
+func (t *Table) Loop() *netloop.Loop { return t.loop }
 
 // errUnknownSocket reports an operation on an unregistered id.
 var errUnknownSocket = errors.New("netactors: unknown socket")
@@ -92,6 +114,7 @@ func (t *Table) AddConn(conn net.Conn) *Socket {
 		id:     t.next,
 		conn:   conn,
 		stats:  &t.stats,
+		loop:   t.loop,
 		inbox:  make(chan []byte, inboxCap),
 		outbox: make(chan []byte, inboxCap),
 		quit:   make(chan struct{}),
@@ -144,9 +167,12 @@ func (s *Socket) shutdown() {
 	s.closed.Store(true)
 	if s.conn != nil && s.outbox != nil {
 		deadline := time.Now().Add(100 * time.Millisecond)
-		for len(s.outbox) > 0 && time.Now().Before(deadline) {
+		for len(s.outbox) > 0 && s.writeRunning.Load() && time.Now().Before(deadline) {
 			time.Sleep(time.Millisecond)
 		}
+	}
+	if s.reg != nil {
+		s.reg.Close() // before conn.Close, while the fd is still valid
 	}
 	s.closeOnce.Do(func() { close(s.quit) })
 	if s.conn != nil {
@@ -193,10 +219,16 @@ func (s *Socket) ringWake() {
 	}
 }
 
-// startReadPump launches the goroutine that performs the (netpoller-
-// parked) reads for a watched connection, idempotently.
+// startReadPump arranges for the socket's inbound bytes to reach its
+// inbox, idempotently: in loop mode the connection is registered with
+// the readiness loop (no goroutine until bytes arrive); otherwise — and
+// for conns without a raw fd, like net.Pipe in tests — a pump goroutine
+// parks in conn.Read on the runtime netpoller.
 func (s *Socket) startReadPump() {
 	s.pumpOnce.Do(func() {
+		if s.loop != nil && s.bindLoop() {
+			return
+		}
 		go func() {
 			for {
 				buf := make([]byte, readBufBytes)
@@ -208,16 +240,127 @@ func (s *Socket) startReadPump() {
 					case <-s.quit:
 						return
 					}
+					s.markReady()
 					s.ringWake()
 				}
 				if err != nil {
 					s.eof.Store(true)
+					s.markReady()
 					s.ringWake()
 					return
 				}
 			}
 		}()
 	})
+}
+
+// loopReadBudget bounds the reads one dispatch performs before handing
+// the dispatcher back (level-triggered re-arming refires if bytes
+// remain), keeping one firehose connection from starving the pool.
+const loopReadBudget = 8
+
+// bindLoop registers the connection with the readiness loop. Reports
+// false when the conn exposes no raw fd (the caller falls back to a
+// pump goroutine).
+func (s *Socket) bindLoop() bool {
+	sc, ok := s.conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	s.rc = rc
+	reg, err := s.loop.Register(rc, s.loopReadable)
+	if err != nil {
+		return false
+	}
+	s.reg = reg
+	return true
+}
+
+// loopReadable is the socket's netloop handler: dispatched when the fd
+// is readable, it performs bounded non-blocking reads into the inbox
+// and queues the socket for its READER's drain. A full inbox returns
+// Retry (backpressure — nothing is read, so nothing can be lost); EOF
+// or a closed fd detaches the registration.
+func (s *Socket) loopReadable() netloop.Action {
+	for i := 0; i < loopReadBudget; i++ {
+		if s.closed.Load() {
+			return netloop.Detach
+		}
+		if len(s.inbox) == cap(s.inbox) {
+			s.markReady() // ensure the drain is scheduled before backing off
+			s.ringWake()
+			return netloop.Retry
+		}
+		buf := make([]byte, readBufBytes)
+		n, again, dead := netloop.RawRead(s.rc, buf)
+		if n > 0 {
+			s.stats.bytesIn.Add(uint64(n))
+			// Cannot block: dispatches are serialized per registration,
+			// so this handler is the only inbox producer and capacity
+			// was checked above.
+			s.inbox <- buf[:n]
+			s.markReady()
+			s.ringWake()
+		}
+		if dead {
+			s.eof.Store(true)
+			s.markReady()
+			s.ringWake()
+			return netloop.Detach
+		}
+		if again {
+			return netloop.Rearm
+		}
+	}
+	return netloop.Rearm
+}
+
+// hasWork reports whether a READER drain would make progress on this
+// socket.
+func (s *Socket) hasWork() bool {
+	return len(s.inbox) > 0 || (s.eof.Load() && !s.eofSent.Load())
+}
+
+// markReady queues the socket on its READER's ready queue (dedup'd by
+// the queued flag), so loop-mode READERs drain exactly the sockets with
+// pending work instead of scanning every watch.
+func (s *Socket) markReady() {
+	rq := s.ready.Load()
+	if rq == nil {
+		return
+	}
+	if s.queued.CompareAndSwap(false, true) {
+		s.stats.bound.Add(1)
+		rq.push(s)
+	}
+}
+
+// SetReady installs the watching READER's ready queue and schedules a
+// drain for any bytes that raced the watch.
+func (s *Socket) SetReady(rq *readyQueue) {
+	s.ready.Store(rq)
+	if s.hasWork() {
+		s.markReady()
+	}
+}
+
+// unbindReady detaches the socket from rq on unwatch: the queue pointer
+// is cleared only if no successor READER has already claimed the socket
+// (connection handoff installs the new queue concurrently), and a
+// queued-but-undrained socket is re-routed to its current queue.
+func (s *Socket) unbindReady(rq *readyQueue) {
+	s.ready.CompareAndSwap(rq, nil)
+	if rq.remove(s) {
+		s.stats.bound.Add(-1)
+		s.queued.Store(false)
+		if s.hasWork() {
+			s.markReady()
+		}
+	}
 }
 
 // startAcceptPump launches the goroutine accepting connections for a
@@ -245,28 +388,60 @@ func (s *Socket) startAcceptPump(t *Table) {
 // draining its connection.
 var errBackpressure = errors.New("netactors: outbound frame dropped (slow consumer)")
 
-// startWritePump launches the goroutine performing the blocking writes
-// for a connection, idempotently.
-func (s *Socket) startWritePump(deadline time.Duration) {
-	s.writePumpOnce.Do(func() {
-		go func() {
-			for {
+// writePumpIdle is how long a write pump lingers without traffic before
+// exiting. Pumps are restartable (ensureWritePump), so an idle
+// connection costs zero goroutines — at 10k mostly-idle connections the
+// lingering pumps would otherwise dominate the goroutine count.
+const writePumpIdle = 250 * time.Millisecond
+
+// ensureWritePump guarantees a pump goroutine is draining the outbox.
+func (s *Socket) ensureWritePump(deadline time.Duration) {
+	if s.writeRunning.CompareAndSwap(false, true) {
+		go s.writePump(deadline)
+	}
+}
+
+// writePump performs the blocking writes for a connection, exiting when
+// the socket closes, the connection errors, or the outbox stays empty
+// for writePumpIdle (the frame-arrives-as-we-exit race is closed by a
+// post-clear recheck and by Write's enqueue-then-ensure ordering).
+func (s *Socket) writePump(deadline time.Duration) {
+	idle := time.NewTimer(writePumpIdle)
+	defer idle.Stop()
+	for {
+		select {
+		case frame := <-s.outbox:
+			if deadline > 0 {
+				_ = s.conn.SetWriteDeadline(time.Now().Add(deadline))
+			}
+			n, err := s.conn.Write(frame)
+			s.stats.bytesOut.Add(uint64(n))
+			if err != nil {
+				s.writeRunning.Store(false)
+				return // read side reports the failure as EOF
+			}
+			if !idle.Stop() {
 				select {
-				case frame := <-s.outbox:
-					if deadline > 0 {
-						_ = s.conn.SetWriteDeadline(time.Now().Add(deadline))
-					}
-					n, err := s.conn.Write(frame)
-					s.stats.bytesOut.Add(uint64(n))
-					if err != nil {
-						return // read pump reports the failure as EOF
-					}
-				case <-s.quit:
-					return
+				case <-idle.C:
+				default:
 				}
 			}
-		}()
-	})
+			idle.Reset(writePumpIdle)
+		case <-s.quit:
+			s.writeRunning.Store(false)
+			return
+		case <-idle.C:
+			s.writeRunning.Store(false)
+			// A frame may have been enqueued between the timer firing
+			// and the flag clearing; reclaim the pump role or leave it
+			// to the Write that lost the race.
+			if len(s.outbox) > 0 && s.writeRunning.CompareAndSwap(false, true) {
+				idle.Reset(writePumpIdle)
+				continue
+			}
+			return
+		}
+	}
 }
 
 // Write queues data for the connection's write pump. A stalled peer
@@ -277,11 +452,11 @@ func (t *Table) Write(id uint32, data []byte) error {
 	if !ok || s.conn == nil {
 		return errUnknownSocket
 	}
-	s.startWritePump(t.writeDeadline)
 	frame := make([]byte, len(data))
 	copy(frame, data)
 	select {
 	case s.outbox <- frame:
+		s.ensureWritePump(t.writeDeadline)
 		return nil
 	default:
 		s.dropped.Add(1)

@@ -1,0 +1,109 @@
+package netloop
+
+import (
+	"sync/atomic"
+	"syscall"
+)
+
+// epollPoller multiplexes registrations on one epoll instance, armed
+// level-triggered one-shot: an event disarms the fd until the handler
+// returns Rearm, so at most one dispatch per registration is ever in
+// flight, and leftover bytes refire immediately after re-arming.
+type epollPoller struct {
+	loop   *Loop
+	epfd   int
+	wakeR  int // pipe read end, registered with token 0
+	wakeW  int
+	closed atomic.Bool
+}
+
+const epollEvents = syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT
+
+func newPoller(l *Loop) (poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	ep := &epollPoller{loop: l, epfd: epfd, wakeR: p[0], wakeW: p[1]}
+	// The wake pipe carries token 0 (never assigned to a registration)
+	// and stays level-triggered so a pending shutdown byte keeps firing.
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN}
+	ev.Fd = 0
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, ep.wakeR, &ev); err != nil {
+		ep.closeFDs()
+		return nil, err
+	}
+	return ep, nil
+}
+
+// ctl runs one epoll_ctl op against the registration's fd under the
+// RawConn's fd lock, so the fd cannot be closed and reused mid-call.
+func (p *epollPoller) ctl(r *Reg, op int) error {
+	var opErr error
+	err := r.rc.Control(func(fd uintptr) {
+		ev := syscall.EpollEvent{Events: epollEvents}
+		ev.Fd = int32(r.token)
+		opErr = syscall.EpollCtl(p.epfd, op, int(fd), &ev)
+	})
+	if err != nil {
+		return err
+	}
+	return opErr
+}
+
+func (p *epollPoller) add(r *Reg) error { return p.ctl(r, syscall.EPOLL_CTL_ADD) }
+
+func (p *epollPoller) arm(r *Reg) error { return p.ctl(r, syscall.EPOLL_CTL_MOD) }
+
+func (p *epollPoller) del(r *Reg) {
+	// Best-effort: closing the fd deregisters it anyway; this only
+	// matters when the conn outlives the registration.
+	_ = r.rc.Control(func(fd uintptr) {
+		_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, int(fd), nil)
+	})
+}
+
+func (p *epollPoller) run() {
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if p.closed.Load() {
+			p.closeFDs()
+			return
+		}
+		if err != nil {
+			// Exceptional (EBADF/EFAULT cannot arise from this loop);
+			// leave the fds alone so a late close() cannot write into a
+			// recycled descriptor.
+			return
+		}
+		for i := 0; i < n; i++ {
+			token := uint32(events[i].Fd)
+			if token == 0 { // wake pipe rung by close()
+				continue
+			}
+			p.loop.deliver(token)
+		}
+	}
+}
+
+func (p *epollPoller) close() {
+	if p.closed.CompareAndSwap(false, true) {
+		var one = [1]byte{1}
+		_, _ = syscall.Write(p.wakeW, one[:])
+	}
+}
+
+func (p *epollPoller) closeFDs() {
+	syscall.Close(p.epfd)
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+}

@@ -1,0 +1,19 @@
+package netloop
+
+// poller is the platform readiness backend. Implementations deliver
+// tokens to Loop.deliver when a registered fd turns readable, with
+// one-shot semantics: after a delivery the registration stays silent
+// until arm() is called again.
+type poller interface {
+	// add registers r and arms it for its first readiness event.
+	add(r *Reg) error
+	// arm re-arms r after a dispatch (handler returned Rearm).
+	arm(r *Reg) error
+	// del removes r (best-effort; closing the fd also deregisters it).
+	del(r *Reg)
+	// run is the poller goroutine body; returns after close().
+	run()
+	// close asks run to exit. Registered connections should be closed
+	// by their owners first (System.Shutdown does).
+	close()
+}

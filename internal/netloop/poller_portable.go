@@ -1,0 +1,105 @@
+//go:build unix && !linux
+
+package netloop
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// waitPoller is the portable fallback: one waiter goroutine per
+// registration parks in RawConn.Read on the runtime netpoller until the
+// fd is readable, then delivers the token and sleeps until re-armed.
+// This keeps the dispatch protocol (and the dispatcher-pool bound on
+// concurrent reads) but not the O(pollers) goroutine bound — that needs
+// the epoll backend. Linux CI exercises the real thing; this exists so
+// the package builds and behaves correctly on the other Unixes.
+type waitPoller struct {
+	loop   *Loop
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	waits map[uint32]*waitState
+}
+
+type waitState struct {
+	armCh chan struct{}
+	stop  chan struct{}
+}
+
+func newPoller(l *Loop) (poller, error) {
+	return &waitPoller{loop: l, quit: make(chan struct{}), waits: make(map[uint32]*waitState)}, nil
+}
+
+func (p *waitPoller) add(r *Reg) error {
+	w := &waitState{armCh: make(chan struct{}, 1), stop: make(chan struct{})}
+	w.armCh <- struct{}{} // armed from birth, like EPOLL_CTL_ADD
+	p.mu.Lock()
+	p.waits[r.token] = w
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-w.armCh:
+			case <-w.stop:
+				return
+			case <-p.quit:
+				return
+			}
+			// Park until readable (or until the conn is closed, which
+			// surfaces as an error — deliver anyway so the handler can
+			// observe EOF and detach).
+			_ = r.rc.Read(func(fd uintptr) bool { return false })
+			select {
+			case <-w.stop:
+				return
+			case <-p.quit:
+				return
+			default:
+			}
+			p.loop.deliver(r.token)
+		}
+	}()
+	return nil
+}
+
+func (p *waitPoller) arm(r *Reg) error {
+	p.mu.Lock()
+	w := p.waits[r.token]
+	p.mu.Unlock()
+	if w == nil {
+		return ErrClosed
+	}
+	select {
+	case w.armCh <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (p *waitPoller) del(r *Reg) {
+	p.mu.Lock()
+	w := p.waits[r.token]
+	delete(p.waits, r.token)
+	p.mu.Unlock()
+	if w != nil {
+		close(w.stop)
+	}
+}
+
+func (p *waitPoller) run() {
+	<-p.quit
+	// Waiters parked in rc.Read return once their connections close;
+	// the owner (System.Shutdown) closes connections before the loop.
+	p.wg.Wait()
+}
+
+func (p *waitPoller) close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.quit)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package netloop
+
+import (
+	"errors"
+	"syscall"
+)
+
+// ErrUnsupported reports that this platform has no readiness backend;
+// callers fall back to goroutine-per-connection pumps.
+var ErrUnsupported = errors.New("netloop: no readiness backend on this platform")
+
+func newPoller(l *Loop) (poller, error) { return nil, ErrUnsupported }
+
+// RawRead is unreachable without a poller backend; it reports the
+// connection closed so any accidental caller detaches immediately.
+func RawRead(rc syscall.RawConn, buf []byte) (n int, again, closed bool) { return 0, false, true }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package netloop
+
+import "syscall"
+
+// RawRead performs one non-blocking read on rc into buf. Socket fds in
+// Go are already O_NONBLOCK, so the callback returns true immediately —
+// the runtime never parks the goroutine. Returns the bytes read, plus:
+//
+//   - again: nothing available right now (EAGAIN/EINTR) — re-arm;
+//   - closed: EOF or a fatal error (including a concurrently closed fd)
+//     — the connection is finished.
+func RawRead(rc syscall.RawConn, buf []byte) (n int, again, closed bool) {
+	var rn int
+	var rerr error
+	cerr := rc.Read(func(fd uintptr) bool {
+		rn, rerr = syscall.Read(int(fd), buf)
+		return true
+	})
+	if cerr != nil {
+		return 0, false, true
+	}
+	switch rerr {
+	case nil:
+		if rn <= 0 {
+			return 0, false, true // EOF
+		}
+		return rn, false, false
+	case syscall.EAGAIN, syscall.EINTR:
+		return 0, true, false
+	default:
+		return 0, false, true
+	}
+}

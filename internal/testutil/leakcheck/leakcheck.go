@@ -1,0 +1,109 @@
+// Package leakcheck verifies that a test binary exits without leaked
+// goroutines. It is a zero-dependency sibling of goleak: after m.Run()
+// it snapshots every goroutine stack (runtime.Stack with all=true),
+// filters the test harness's own machinery, and fails the binary if
+// anything else survives a short grace window — pumps that were never
+// stopped, pollers that missed their quit signal, timers still parked.
+//
+// Wire it into a package with:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// The grace window matters: goroutines legitimately take a few
+// scheduler rounds to observe a close and unwind, so the check retries
+// until the set is empty or the deadline passes. Only the steady state
+// counts.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long goroutines get to unwind after the last test.
+const grace = 5 * time.Second
+
+// benign marks goroutines that belong to the test harness or the
+// runtime rather than to the code under test. Substring match against
+// the whole stack block.
+var benign = []string{
+	"testing.Main(",
+	"testing.(*M).",
+	"testing.(*T).",
+	"testing.tRunner",
+	"testing.runTests",
+	"testing.runFuzzing",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+	"runtime/pprof.",
+	"created by runtime",
+	"leakcheck.stacks", // ourselves
+}
+
+// stacks returns one stack block per live goroutine, excluding the
+// calling goroutine (always the first block in runtime.Stack output).
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	blocks := strings.Split(string(buf), "\n\n")
+	if len(blocks) > 0 {
+		blocks = blocks[1:] // the goroutine running this check
+	}
+	return blocks
+}
+
+func isBenign(block string) bool {
+	for _, b := range benign {
+		if strings.Contains(block, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Leaked returns the stacks of goroutines still alive after the grace
+// window that are not test-harness machinery. Empty means clean.
+func Leaked(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	var leaked []string
+	for {
+		leaked = leaked[:0]
+		for _, block := range stacks() {
+			if strings.TrimSpace(block) == "" || isBenign(block) {
+				continue
+			}
+			leaked = append(leaked, block)
+		}
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Main runs the package's tests and then the leak check, exiting with a
+// failure code if passing tests left goroutines behind. A failing run
+// keeps its own exit code — leak output would only bury the real error.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Leaked(grace); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked by this package's tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

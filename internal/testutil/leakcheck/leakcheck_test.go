@@ -1,0 +1,51 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+func TestCleanWhenNothingLeaks(t *testing.T) {
+	if leaked := Leaked(100 * time.Millisecond); len(leaked) != 0 {
+		t.Fatalf("clean state reported %d leaks:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-block
+	}()
+	leaked := Leaked(50 * time.Millisecond)
+	close(block) // unwind before TestMain's final check
+	<-done
+	if len(leaked) == 0 {
+		t.Fatal("parked goroutine not reported")
+	}
+	found := false
+	for _, b := range leaked {
+		if strings.Contains(b, "TestDetectsLeakedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report missing the culprit:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+func TestGraceWindowAbsorbsUnwinding(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond) // unwinds within the grace window
+	}()
+	if leaked := Leaked(2 * time.Second); len(leaked) != 0 {
+		t.Fatalf("transient goroutine reported as leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+	<-done
+}

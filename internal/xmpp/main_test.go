@@ -1,0 +1,11 @@
+package xmpp
+
+import (
+	"testing"
+
+	"github.com/eactors/eactors-go/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if tests leak goroutines — connectors,
+// shards, sessions, and networking pumps must unwind on Stop.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

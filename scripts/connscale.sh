@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Connection-scale smoke: build the real server binaries, then let the
+# connscale harness park CONNS mostly-idle connections on each and
+# assert the readiness-loop scaling contract (bounded goroutines, flat
+# per-connection memory, p99 parity with the legacy pump path).
+#
+#   CONNS=10000 SWEEP=1 ./scripts/connscale.sh
+#
+# SWEEP=1 adds the legacy-mode and 1k-connection rows to the output
+# table (the EXPERIMENTS.md sweep); assertions only ever apply to the
+# netloop rows.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONNS="${CONNS:-10000}"
+SWEEP="${SWEEP:-0}"
+
+ulimit -n "$(ulimit -Hn)" || true
+echo "connscale.sh: fd limit soft=$(ulimit -Sn) hard=$(ulimit -Hn)"
+
+mkdir -p bin
+go build -o bin/ ./cmd/kvserver ./cmd/xmppserver ./cmd/connscale
+
+ARGS=(-kvserver bin/kvserver -xmppserver bin/xmppserver -conns "$CONNS")
+if [ "$SWEEP" = "1" ]; then
+  ARGS+=(-sweep)
+fi
+exec ./bin/connscale "${ARGS[@]}"
