@@ -5,6 +5,12 @@
 // Usage:
 //
 //	kvload -server 127.0.0.1:6380 -clients 8 -duration 10s -get-ratio 0.9
+//
+// With -depth > 1 each client speaks the framed multiplexed transport
+// and keeps that many requests in flight on one connection (a sliding
+// ring: issue the next op, then reap the oldest once the ring is full),
+// which is the pipelining depth sweep behind EXPERIMENTS.md. -depth 1
+// uses the legacy synchronous protocol.
 package main
 
 import (
@@ -75,6 +81,73 @@ func (r *latencyRecorder) percentile(p float64) time.Duration {
 	return sorted[int(p*float64(len(sorted)-1))]
 }
 
+// runPipelined is one load connection in framed mode: a sliding ring of
+// depth in-flight requests over a single multiplexed session. Latency
+// is issue-to-completion of each op, so deep rings trade per-op latency
+// for connection throughput — exactly the sweep the depth table in
+// EXPERIMENTS.md records.
+func runPipelined(server string, depth, keys int, getRatio float64, rng *rand.Rand, value []byte,
+	stop chan struct{}, measuring *atomic.Bool, ops, errs *atomic.Uint64, rec *latencyRecorder) {
+
+	c, err := kv.DialPipelined(server, kv.PipelineOptions{Depth: depth, Timeout: 10 * time.Second})
+	if err != nil {
+		errs.Add(1)
+		return
+	}
+	defer c.Close()
+	type slot struct {
+		p     *kv.Pending
+		start time.Time
+	}
+	ring := make([]slot, 0, depth)
+	reap := func(s slot) {
+		resp, err := s.p.Wait()
+		if err != nil || resp.Status == kv.StatusErr {
+			errs.Add(1)
+			return
+		}
+		if measuring.Load() {
+			ops.Add(1)
+			rec.record(time.Since(s.start))
+		}
+	}
+	defer func() {
+		for _, s := range ring {
+			reap(s)
+		}
+	}()
+	key := make([]byte, 0, 24)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		key = append(key[:0], []byte(fmt.Sprintf("key-%d", rng.Intn(keys)))...)
+		var p *kv.Pending
+		var err error
+		start := time.Now()
+		switch r := rng.Float64(); {
+		case r < getRatio:
+			p, err = c.IssueGet(key)
+		case r < getRatio+(1-getRatio)*0.9:
+			p, err = c.IssueSet(key, value)
+		default:
+			p, err = c.IssueDel(key)
+		}
+		if err != nil {
+			errs.Add(1)
+			return // session poisoned; this connection is done
+		}
+		ring = append(ring, slot{p: p, start: start})
+		if len(ring) == depth {
+			reap(ring[0])
+			copy(ring, ring[1:])
+			ring = ring[:len(ring)-1]
+		}
+	}
+}
+
 func run() error {
 	server := flag.String("server", "", "server address (required)")
 	clients := flag.Int("clients", 8, "concurrent client connections")
@@ -84,6 +157,7 @@ func run() error {
 	valueSize := flag.Int("value", 128, "value bytes")
 	getRatio := flag.Float64("get-ratio", 0.9, "fraction of operations that are GETs (rest split SET/DEL 9:1)")
 	seed := flag.Int64("seed", 1, "workload PRNG seed")
+	depth := flag.Int("depth", 1, "pipelining depth per connection (1 = legacy synchronous protocol, >1 = framed multiplexed transport)")
 	idleConns := flag.Int("idle-conns", 0, "idle connections held open for the whole run (readiness-loop scaling ballast)")
 	flag.Parse()
 	if *server == "" {
@@ -114,15 +188,19 @@ func run() error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			value := make([]byte, *valueSize)
+			rng.Read(value)
+			if *depth > 1 {
+				runPipelined(*server, *depth, *keys, *getRatio, rng, value, stop, &measuring, &ops, &errs, rec)
+				return
+			}
 			c, err := kv.Dial(*server, 5*time.Second)
 			if err != nil {
 				errs.Add(1)
 				return
 			}
 			defer c.Close()
-			rng := rand.New(rand.NewSource(*seed + int64(id)))
-			value := make([]byte, *valueSize)
-			rng.Read(value)
 			key := make([]byte, 0, 24)
 			for {
 				select {
@@ -161,8 +239,8 @@ func run() error {
 	wg.Wait()
 
 	total := ops.Load()
-	fmt.Printf("kvload: %d ops in %s = %.0f ops/s (%d errors)\n",
-		total, *duration, float64(total)/duration.Seconds(), errs.Load())
+	fmt.Printf("kvload: %d ops in %s = %.0f ops/s (depth=%d, %d errors)\n",
+		total, *duration, float64(total)/duration.Seconds(), *depth, errs.Load())
 	fmt.Printf("kvload: latency p50=%s p95=%s p99=%s\n",
 		rec.percentile(0.50), rec.percentile(0.95), rec.percentile(0.99))
 	return nil

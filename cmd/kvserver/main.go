@@ -41,6 +41,9 @@ func run() error {
 	encrypt := flag.Bool("encrypt", false, "seal every record at rest (see -key)")
 	keyHex := flag.String("key", "", "hex store encryption key (with -encrypt; empty generates an ephemeral key — persisted stores then cannot reopen)")
 	flush := flag.Duration("flush", 100*time.Millisecond, "write-back flush interval (negative = sync per drained burst)")
+	sessionWindow := flag.Int("session-window", 0, "per-session flow-control advertisement in bytes (0 = transport default)")
+	replayWindow := flag.Int("replay-window", 0, "per-session resend-dedup cache depth (0 = transport default)")
+	noPipeline := flag.Bool("no-pipeline", false, "refuse the framed multiplexed transport (legacy protocol only; framed clients downgrade)")
 	netloopOn := flag.Bool("netloop", false, "multiplex connection reads through the event-driven readiness loop (O(pollers+dispatchers) goroutines instead of one per connection)")
 	netloopPollers := flag.Int("netloop-pollers", 1, "readiness-loop poller goroutines (with -netloop)")
 	netloopDispatchers := flag.Int("netloop-dispatchers", 4, "readiness-loop dispatcher goroutines (with -netloop)")
@@ -71,17 +74,20 @@ func run() error {
 	}
 
 	srv, err := kv.Start(kv.Options{
-		ListenAddr:       *listen,
-		Shards:           *shards,
-		Trusted:          *trusted,
-		Switchless:       *switchless,
-		Dir:              *dir,
-		StoreSize:        *storeSize,
-		EncryptionKey:    encKey,
-		FlushInterval:    *flush,
-		Telemetry:        *metrics != "",
-		Trace:            *traceOn,
-		TraceSampleEvery: *traceSample,
+		ListenAddr:        *listen,
+		Shards:            *shards,
+		Trusted:           *trusted,
+		Switchless:        *switchless,
+		Dir:               *dir,
+		StoreSize:         *storeSize,
+		EncryptionKey:     encKey,
+		FlushInterval:     *flush,
+		SessionWindow:     *sessionWindow,
+		ReplayWindow:      *replayWindow,
+		DisablePipelining: *noPipeline,
+		Telemetry:         *metrics != "",
+		Trace:             *traceOn,
+		TraceSampleEvery:  *traceSample,
 		NetLoop: netloop.Config{
 			Enabled:     *netloopOn,
 			Pollers:     *netloopPollers,
@@ -122,6 +128,8 @@ func run() error {
 				ss := srv.Store().Stats()
 				fmt.Printf("kvserver: gets=%d sets=%d dels=%d not-found=%d errors=%d\n",
 					st.Gets, st.Sets, st.Dels, st.NotFound, st.Errors)
+				fmt.Printf("kvserver: sessions=%d pipelined=%d replayed=%d\n",
+					st.Sessions, st.Pipelined, st.Replayed)
 				fmt.Printf("kvserver: cache-hits=%d misses=%d dirty=%d flushes=%d flushed-ops=%d sync-failures=%d\n",
 					ss.Hits, ss.Misses, ss.Dirty, ss.Flushes, ss.FlushedOps, ss.SyncFailures)
 			}

@@ -7,6 +7,7 @@
 //
 //	xmppload -server 127.0.0.1:5222 -clients 100 -duration 30s
 //	xmppload -server 127.0.0.1:5222 -group room1 -clients 50 -duration 30s
+//	xmppload -server 127.0.0.1:5269 -s2s -depth 32 -clients 4 -duration 30s
 package main
 
 import (
@@ -21,7 +22,10 @@ import (
 	"time"
 
 	"github.com/eactors/eactors-go/internal/fdlimit"
+	"github.com/eactors/eactors-go/internal/transport"
+	"github.com/eactors/eactors-go/internal/xmpp"
 	"github.com/eactors/eactors-go/internal/xmpp/client"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
 )
 
 func main() {
@@ -70,6 +74,8 @@ func run() error {
 	warmup := flag.Duration("warmup", time.Second, "warmup before measuring")
 	group := flag.String("group", "", "group-chat room: all clients join it, one sends")
 	payload := flag.Int("payload", 150, "message payload bytes")
+	s2s := flag.Bool("s2s", false, "drive a framed server-to-server federation endpoint instead of the client protocol")
+	depth := flag.Int("depth", 32, "stanzas kept in flight per federation link (with -s2s)")
 	idleConns := flag.Int("idle-conns", 0, "idle connections held open for the whole run (readiness-loop scaling ballast)")
 	flag.Parse()
 	if *server == "" {
@@ -89,10 +95,103 @@ func run() error {
 		defer closeIdle()
 		fmt.Printf("xmppload: holding %d idle connections\n", *idleConns)
 	}
+	if *s2s {
+		return runS2S(*server, *clients, *depth, *payload, *warmup, *duration)
+	}
 	if *group != "" {
 		return runGroup(*server, *group, *clients, *payload, *warmup, *duration)
 	}
 	return runO2O(*server, *clients, *payload, *warmup, *duration)
+}
+
+// runS2S pumps stanzas over framed federation links, each keeping a
+// sliding ring of depth un-acked stanzas in flight — the s2s face of
+// the pipelining depth sweep.
+func runS2S(server string, links, depth, payloadBytes int, warmup, duration time.Duration) error {
+	if links < 1 {
+		links = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	payload := makePayload(payloadBytes)
+	fmt.Printf("xmppload: s2s against %s, %d links x depth %d, %v warmup + %v measure\n",
+		server, links, depth, warmup, duration)
+
+	var acked, errs atomic.Uint64
+	var measuring atomic.Bool
+	rec := &latencyRecorder{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < links; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			link, err := xmpp.DialS2S(server, 10*time.Second)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer link.Close()
+			xml := []byte(stanza.Message(fmt.Sprintf("load-%d@remote", id), "peer@local", payload))
+			type slot struct {
+				c     *transport.Call
+				start time.Time
+			}
+			ring := make([]slot, 0, depth)
+			reap := func(s slot) {
+				if err := link.WaitAck(s.c); err != nil {
+					errs.Add(1)
+					return
+				}
+				if measuring.Load() {
+					acked.Add(1)
+					rec.record(time.Since(s.start))
+				}
+			}
+			defer func() {
+				for _, s := range ring {
+					reap(s)
+				}
+			}()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				c, err := link.IssueStanza(xml)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				ring = append(ring, slot{c: c, start: start})
+				if len(ring) == depth {
+					reap(ring[0])
+					copy(ring, ring[1:])
+					ring = ring[:len(ring)-1]
+				}
+			}
+		}(id)
+	}
+
+	time.Sleep(warmup)
+	measuring.Store(true)
+	time.Sleep(duration)
+	measuring.Store(false)
+	close(stop)
+	wg.Wait()
+
+	total := acked.Load()
+	fmt.Printf("throughput: %.0f stanzas/s (%d acked, %d errors)\n",
+		float64(total)/duration.Seconds(), total, errs.Load())
+	fmt.Printf("latency:    p50=%v p95=%v p99=%v (%d samples)\n",
+		rec.percentile(0.50).Round(time.Microsecond),
+		rec.percentile(0.95).Round(time.Microsecond),
+		rec.percentile(0.99).Round(time.Microsecond),
+		rec.count())
+	return nil
 }
 
 // openIdleConns dials and holds count idle TCP connections — ballast

@@ -47,6 +47,8 @@ func run() error {
 	traceOn := flag.Bool("trace", false, "enable sampled causal tracing (exported on /debug/traces when -metrics is set)")
 	traceSample := flag.Int("trace-sample", 0, "root one trace per this many inbound bursts (0 = default 64)")
 	directory := flag.Bool("directory", true, "keep the online directory in a sealed persistent object store (the paper's Section 5.1 design)")
+	s2s := flag.String("s2s", "", "also accept framed server-to-server federation links on this address, e.g. 127.0.0.1:5269 (empty = off)")
+	domain := flag.String("domain", "localhost", "local domain announced on federation links (with -s2s)")
 	flag.Parse()
 
 	var dedicated []string
@@ -90,6 +92,14 @@ func run() error {
 	defer srv.Stop()
 	fmt.Printf("xmppserver: listening on %s (shards=%d trusted=%v enclaves=%d switchless=%v netloop=%v)\n",
 		srv.Addr(), *shards, *trusted, *enclaves, *switchless && *trusted, *netloopOn)
+	var s2sSrv *xmpp.S2SServer
+	if *s2s != "" {
+		if s2sSrv, err = xmpp.ListenS2S(*s2s, *domain, xmpp.S2SOptions{}); err != nil {
+			return fmt.Errorf("s2s listener: %w", err)
+		}
+		defer s2sSrv.Close()
+		fmt.Printf("xmppserver: s2s federation on %s (domain %q, framed transport)\n", s2sSrv.Addr(), *domain)
+	}
 	if *metrics != "" {
 		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
 		if err != nil {
@@ -121,6 +131,10 @@ func run() error {
 				fmt.Printf("xmppserver: crossings=%d epc-evictions=%d pool-free=%d failed-actors=%v\n",
 					report.Platform.Crossings, report.Platform.EvictedPages,
 					report.PublicPoolFree, report.FailedActors)
+				if s2sSrv != nil {
+					fs := s2sSrv.Stats()
+					fmt.Printf("xmppserver: s2s links=%d stanzas=%d rejected=%d\n", fs.Links, fs.Stanzas, fs.Rejected)
+				}
 			}
 		}
 	}

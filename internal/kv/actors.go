@@ -7,6 +7,7 @@ import (
 	"github.com/eactors/eactors-go/internal/netactors"
 	"github.com/eactors/eactors-go/internal/pos"
 	"github.com/eactors/eactors-go/internal/trace"
+	"github.com/eactors/eactors-go/internal/transport"
 )
 
 // maxPendingFrames bounds each retry queue before frames are dropped
@@ -20,16 +21,45 @@ const stageFlushBatch = 64
 // bytes without ever completing a frame is cut off.
 const maxBufferedStream = 1 << 20
 
+// maxReplaySessions bounds the per-KVSTORE replay-state table; beyond
+// it the oldest session's cache is evicted (its resends then read as
+// fresh requests, which at-least-once semantics tolerate). Close
+// notifications normally reclaim entries long before this trips.
+const maxReplaySessions = 1024
+
 // controlDeadline bounds SendRetry on control sends (watches, closes):
 // losing one wedges or leaks a socket, so they persist through
 // transient channel fullness.
 func controlDeadline() time.Time { return time.Now().Add(50 * time.Millisecond) }
 
+// Connection protocol modes, decided by the first byte a socket sends:
+// legacy KV opcodes sit in 1..3, transport frame types in 0xE1+.
+const (
+	connModeUnknown = iota
+	connModeLegacy
+	connModeFramed
+)
+
+// connState is the FRONTEND's per-socket state: stream reassembly for
+// whichever protocol the peer speaks, plus — for framed sessions — the
+// handshake flag and the opaque replay-window horizon that preserves
+// at-least-once semantics under deep pipelining (a resend must still
+// land inside the KVSTOREs' dedup caches, so opaques that fall behind
+// the horizon are a protocol violation and kill the session).
+type connState struct {
+	mode       int
+	legacy     ReqScanner
+	framed     transport.Scanner
+	helloSeen  bool
+	opaqueSeen bool
+	maxOpaque  uint32
+}
+
 // frontendState is the FRONTEND eactor's private state.
 type frontendState struct {
 	phase     int
 	listener  uint32
-	socks     map[uint32]*ReqScanner
+	socks     map[uint32]*connState
 	scratch   []byte
 	recvBufs  [][]byte
 	recvLens  []int
@@ -38,6 +68,11 @@ type frontendState struct {
 	// SendBatch per shard per round, pending spill under backpressure.
 	stages  []core.SendStage
 	pending [][][]byte
+	// fwStage/fwPending batch session-control frames (HELLO-ACK,
+	// GOAWAY) for the FRONTEND's direct fwrite line to the WRITER.
+	fwStage   core.SendStage
+	fwPending [][]byte
+	frameBuf  []byte
 }
 
 const (
@@ -47,10 +82,12 @@ const (
 )
 
 // frontendSpec builds the FRONTEND eactor: it owns the listener, the
-// per-socket stream reassembly, and the key-affinity routing into the
-// KVSTORE shards. It runs untrusted — request plaintext crosses it the
-// same way it crossed the kernel's socket buffers — and the req
-// channels re-protect everything at the first enclave boundary.
+// per-socket stream reassembly (legacy one-request frames or the framed
+// multiplexed transport), the session handshakes, and the key-affinity
+// routing into the KVSTORE shards. It runs untrusted — request
+// plaintext crosses it the same way it crossed the kernel's socket
+// buffers — and the req channels re-protect everything at the first
+// enclave boundary.
 func (srv *Server) frontendSpec(opts Options, worker, shards int, addrCh chan<- string) core.Spec {
 	nodePayload := opts.NodePayload
 	if nodePayload <= 0 {
@@ -58,13 +95,13 @@ func (srv *Server) frontendSpec(opts Options, worker, shards int, addrCh chan<- 
 	}
 	maxForward := netactors.MaxData(nodePayload)
 	st := &frontendState{
-		socks:     make(map[uint32]*ReqScanner),
+		socks:     make(map[uint32]*connState),
 		acceptBuf: make([]byte, 4096),
 		stages:    make([]core.SendStage, shards),
 		pending:   make([][][]byte, shards),
 	}
 	st.recvBufs, st.recvLens = core.BatchBufs(opts.MaxBatch, nodePayload)
-	var open, accept, read, closeCh *core.Endpoint
+	var open, accept, read, closeCh, fwrite *core.Endpoint
 	reqChans := make([]*core.Endpoint, shards)
 	return core.Spec{
 		Name:   "frontend",
@@ -75,6 +112,7 @@ func (srv *Server) frontendSpec(opts Options, worker, shards int, addrCh chan<- 
 			accept = self.MustChannel("accept")
 			read = self.MustChannel("read")
 			closeCh = self.MustChannel("close")
+			fwrite = self.MustChannel("fwrite")
 			for i := 0; i < shards; i++ {
 				reqChans[i] = self.MustChannel(reqChannel(i))
 			}
@@ -111,17 +149,17 @@ func (srv *Server) frontendSpec(opts Options, worker, shards int, addrCh chan<- 
 					self.Progress()
 				}
 			case fphServe:
-				srv.frontendServe(self, st, accept, read, closeCh, reqChans, shards, maxForward)
+				srv.frontendServe(self, st, opts, accept, read, closeCh, fwrite, reqChans, shards, maxForward)
 			}
 		},
 	}
 }
 
 // frontendServe is one serve-phase invocation.
-func (srv *Server) frontendServe(self *core.Self, st *frontendState,
-	accept, read, closeCh *core.Endpoint, reqChans []*core.Endpoint, shards, maxForward int) {
+func (srv *Server) frontendServe(self *core.Self, st *frontendState, opts Options,
+	accept, read, closeCh, fwrite *core.Endpoint, reqChans []*core.Endpoint, shards, maxForward int) {
 
-	// Frames that hit a full req channel last round go first, in FIFO
+	// Frames that hit a full channel last round go first, in FIFO
 	// order, so per-socket request order survives backpressure.
 	for i := range st.pending {
 		if len(st.pending[i]) == 0 {
@@ -136,6 +174,16 @@ func (srv *Server) frontendServe(self *core.Self, st *frontendState,
 			}
 		}
 	}
+	if len(st.fwPending) > 0 {
+		n, _ := fwrite.SendBatch(st.fwPending) //sendcheck:ok
+		if n > 0 {
+			self.Progress()
+			st.fwPending = st.fwPending[n:]
+			if len(st.fwPending) == 0 {
+				st.fwPending = nil
+			}
+		}
+	}
 
 	// New connections: watch their bytes.
 	for {
@@ -147,7 +195,7 @@ func (srv *Server) frontendServe(self *core.Self, st *frontendState,
 		if err != nil || msg.Type != netactors.MsgAccepted {
 			continue
 		}
-		st.socks[msg.Sock] = &ReqScanner{}
+		st.socks[msg.Sock] = &connState{}
 		w, _ := (netactors.Msg{Type: netactors.MsgWatch, Sock: msg.Sock}).AppendTo(st.scratch[:0])
 		st.scratch = w
 		// An unwatched socket never produces bytes; persist the watch.
@@ -164,55 +212,184 @@ func (srv *Server) frontendServe(self *core.Self, st *frontendState,
 		}
 		switch msg.Type {
 		case netactors.MsgClosed:
-			delete(st.socks, msg.Sock)
+			if cs, ok := st.socks[msg.Sock]; ok {
+				if cs.mode == connModeFramed {
+					srv.notifyShards(st, msg.Sock, reqChans)
+				}
+				delete(st.socks, msg.Sock)
+			}
 		case netactors.MsgData:
-			sc, ok := st.socks[msg.Sock]
+			cs, ok := st.socks[msg.Sock]
 			if !ok {
 				continue
 			}
-			sc.Feed(msg.Data)
-			srv.frontendRoute(self, st, sc, msg.Sock, closeCh, reqChans, shards, maxForward)
+			if cs.mode == connModeUnknown && len(msg.Data) > 0 {
+				// Protocol sniff on the first byte. With pipelining
+				// disabled, framed hellos fall through to the legacy
+				// scanner, which rejects their opcode and drops the
+				// connection — exactly what a pre-transport server did,
+				// so new clients downgrade cleanly.
+				if !opts.DisablePipelining && transport.IsFramed(msg.Data[0]) {
+					cs.mode = connModeFramed
+				} else {
+					cs.mode = connModeLegacy
+				}
+			}
+			if cs.mode == connModeFramed {
+				cs.framed.Feed(msg.Data)
+				srv.frontendRouteFramed(self, st, opts, cs, msg.Sock, closeCh, fwrite, reqChans, shards, maxForward)
+			} else {
+				cs.legacy.Feed(msg.Data)
+				srv.frontendRoute(self, st, cs, msg.Sock, closeCh, reqChans, shards, maxForward)
+			}
 		}
 	}
 	for i := range st.stages {
 		srv.flushStage(st, i, reqChans[i])
 	}
+	srv.flushCtl(st, fwrite)
 }
 
-// frontendRoute forwards every complete request a socket has buffered
-// to the KVSTORE shard owning its key.
-func (srv *Server) frontendRoute(self *core.Self, st *frontendState, sc *ReqScanner,
+// dropConn cuts a peer off: closes the socket and, for framed sessions,
+// tells every KVSTORE to reclaim the session's replay state.
+func (srv *Server) dropConn(st *frontendState, cs *connState, sock uint32, closeCh *core.Endpoint, reqChans []*core.Endpoint) {
+	if cs != nil && cs.mode == connModeFramed {
+		srv.notifyShards(st, sock, reqChans)
+	}
+	delete(st.socks, sock)
+	c, _ := (netactors.Msg{Type: netactors.MsgClose, Sock: sock}).AppendTo(nil)
+	// A lost close leaks the socket; persist it.
+	_ = closeCh.SendRetry(c, controlDeadline()) //sendcheck:ok
+}
+
+// notifyShards forwards a session close to every KVSTORE so replay
+// caches are reclaimed promptly (maxReplaySessions backstops losses).
+func (srv *Server) notifyShards(st *frontendState, sock uint32, reqChans []*core.Endpoint) {
+	m, _ := (netactors.Msg{Type: netactors.MsgClosed, Sock: sock}).AppendTo(st.scratch[:0])
+	st.scratch = m
+	for _, ep := range reqChans {
+		_ = ep.SendRetry(m, controlDeadline()) //sendcheck:ok
+	}
+}
+
+// frontendRoute forwards every complete legacy request a socket has
+// buffered to the KVSTORE shard owning its key.
+func (srv *Server) frontendRoute(self *core.Self, st *frontendState, cs *connState,
 	sock uint32, closeCh *core.Endpoint, reqChans []*core.Endpoint, shards, maxForward int) {
 
-	drop := func() {
-		delete(st.socks, sock)
-		c, _ := (netactors.Msg{Type: netactors.MsgClose, Sock: sock}).AppendTo(nil)
-		// A lost close leaks the socket; persist it.
-		_ = closeCh.SendRetry(c, controlDeadline()) //sendcheck:ok
-	}
+	sc := &cs.legacy
 	for {
 		req, raw, ok, err := sc.NextFrame()
 		if err != nil || sc.Buffered() > maxBufferedStream {
-			drop() // lost framing or unbounded partial frame: cut the peer off
+			// Lost framing or unbounded partial frame: cut the peer off.
+			srv.dropConn(st, cs, sock, closeCh, reqChans)
 			return
 		}
 		if !ok {
 			return
 		}
 		if len(raw) > maxForward {
-			drop() // cannot cross the channel in one node
+			srv.dropConn(st, cs, sock, closeCh, reqChans) // cannot cross the channel in one node
 			return
 		}
 		self.Progress()
-		shard := pos.ShardOf(req.Key, shards)
-		m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: raw}).AppendTo(st.stages[shard].Slot())
+		srv.stageRequest(st, req.Key, sock, raw, reqChans, shards)
+	}
+}
+
+// frontendRouteFramed drains a framed session's buffered frames: the
+// handshake is answered directly over fwrite, requests are validated
+// against the session's opaque window and forwarded — still as one raw
+// frame per message — to the shard owning the key.
+func (srv *Server) frontendRouteFramed(self *core.Self, st *frontendState, opts Options, cs *connState,
+	sock uint32, closeCh, fwrite *core.Endpoint, reqChans []*core.Endpoint, shards, maxForward int) {
+
+	for {
+		f, raw, ok, err := cs.framed.Next()
 		if err != nil {
-			continue
+			srv.dropConn(st, cs, sock, closeCh, reqChans)
+			return
 		}
-		st.stages[shard].Push(m)
-		if st.stages[shard].Len() >= stageFlushBatch {
-			srv.flushStage(st, shard, reqChans[shard])
+		if !ok {
+			return
 		}
+		self.Progress()
+		switch f.Type {
+		case transport.THello:
+			if cs.helloSeen || f.Flags != transport.Version1 || f.Opaque&transport.FeatureKV == 0 {
+				srv.dropConn(st, cs, sock, closeCh, reqChans)
+				return
+			}
+			cs.helloSeen = true
+			srv.sessions.Add(1)
+			ack := transport.HelloAck(transport.FeatureKV, uint32(opts.SessionWindow))
+			frame, err := transport.AppendFrame(st.frameBuf[:0], ack)
+			if err != nil {
+				srv.dropConn(st, cs, sock, closeCh, reqChans)
+				return
+			}
+			st.frameBuf = frame
+			m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: frame}).AppendTo(st.fwStage.Slot())
+			if err != nil {
+				srv.dropConn(st, cs, sock, closeCh, reqChans)
+				return
+			}
+			st.fwStage.Push(m)
+			if st.fwStage.Len() >= stageFlushBatch {
+				srv.flushCtl(st, fwrite)
+			}
+		case transport.TRequest:
+			if !cs.helloSeen || len(raw) > maxForward {
+				srv.dropConn(st, cs, sock, closeCh, reqChans)
+				return
+			}
+			// Opaque replay-window horizon: a fresh opaque advances it,
+			// a resend inside the window passes through (the KVSTORE's
+			// cache dedups it), and anything older broke the window
+			// discipline — executing it could double-apply, so the
+			// session dies instead.
+			if !cs.opaqueSeen {
+				cs.opaqueSeen = true
+				cs.maxOpaque = f.Opaque
+			} else if d := int32(f.Opaque - cs.maxOpaque); d > 0 {
+				cs.maxOpaque = f.Opaque
+			} else if -d >= int32(opts.ReplayWindow) {
+				srv.dropConn(st, cs, sock, closeCh, reqChans)
+				return
+			}
+			req, _, err := ParseRequest(f.Payload)
+			if err != nil || req.Op < OpGet || req.Op > OpDel {
+				srv.dropConn(st, cs, sock, closeCh, reqChans)
+				return
+			}
+			srv.stageRequest(st, req.Key, sock, raw, reqChans, shards)
+		case transport.TGoAway:
+			srv.dropConn(st, cs, sock, closeCh, reqChans)
+			return
+		default:
+			// TCredit and friends are harmless in v1; anything the
+			// session layer does not know is a violation.
+			if !f.Type.Valid() {
+				srv.dropConn(st, cs, sock, closeCh, reqChans)
+				return
+			}
+		}
+	}
+}
+
+// stageRequest stages one raw request frame (legacy or framed) for the
+// shard owning key.
+func (srv *Server) stageRequest(st *frontendState, key []byte, sock uint32, raw []byte,
+	reqChans []*core.Endpoint, shards int) {
+
+	shard := pos.ShardOf(key, shards)
+	m, err := (netactors.Msg{Type: netactors.MsgData, Sock: sock, Data: raw}).AppendTo(st.stages[shard].Slot())
+	if err != nil {
+		return
+	}
+	st.stages[shard].Push(m)
+	if st.stages[shard].Len() >= stageFlushBatch {
+		srv.flushStage(st, shard, reqChans[shard])
 	}
 }
 
@@ -236,6 +413,25 @@ func (srv *Server) flushStage(st *frontendState, i int, ep *core.Endpoint) {
 	st.stages[i].Reset()
 }
 
+// flushCtl sends the staged session-control frames over fwrite, with
+// the same bounded pending spill as the shard stages.
+func (srv *Server) flushCtl(st *frontendState, fwrite *core.Endpoint) {
+	if st.fwStage.Len() == 0 {
+		return
+	}
+	sent := 0
+	if len(st.fwPending) == 0 {
+		sent, _ = fwrite.SendBatch(st.fwStage.Frames()) //sendcheck:ok
+	}
+	for _, f := range st.fwStage.Frames()[sent:] {
+		if len(st.fwPending) >= maxPendingFrames {
+			break
+		}
+		st.fwPending = append(st.fwPending, append([]byte(nil), f...))
+	}
+	st.fwStage.Reset()
+}
+
 func reqChannel(i int) string   { return "req-" + itoa(i) }
 func writeChannel(i int) string { return "write-" + itoa(i) }
 
@@ -252,14 +448,43 @@ type storeState struct {
 	recvBufs [][]byte
 	recvLens []int
 	respBuf  []byte
+	frameBuf []byte
 	stage    core.SendStage
 	pending  [][]byte
+	// replays is the per-session dedup state for framed connections:
+	// a resent opaque is answered from its cached response frame, so
+	// SET/DEL take effect exactly once under at-least-once resends.
+	replays    map[uint32]*transport.Replay
+	replayFIFO []uint32
+}
+
+// replayFor returns (building on demand) the replay window for a
+// framed session, evicting the oldest session past maxReplaySessions.
+func (st *storeState) replayFor(sock uint32, capacity int) *transport.Replay {
+	if r, ok := st.replays[sock]; ok {
+		return r
+	}
+	if st.replays == nil {
+		st.replays = make(map[uint32]*transport.Replay)
+	}
+	for len(st.replays) >= maxReplaySessions {
+		delete(st.replays, st.replayFIFO[0])
+		st.replayFIFO = st.replayFIFO[1:]
+	}
+	r := transport.NewReplay(capacity)
+	st.replays[sock] = r
+	st.replayFIFO = append(st.replayFIFO, sock)
+	return r
 }
 
 // storeSpec builds KVSTORE eactor i: it executes the requests routed to
 // it on the shared sharded store (key affinity means it only ever
 // touches POS shard i, so the KVSTOREs scale without lock contention)
 // and stages the responses back to the WRITER in one batch per round.
+// Framed requests produce framed responses: the TResponse wraps the
+// legacy response encoding, echoes the opaque, returns the request's
+// bytes as flow-control credit, and lands in the replay cache so a
+// client resend replays instead of re-executing.
 func (srv *Server) storeSpec(opts Options, i, worker int, enclave string) core.Spec {
 	nodePayload := opts.NodePayload
 	if nodePayload <= 0 {
@@ -293,21 +518,28 @@ func (srv *Server) storeSpec(opts Options, i, worker int, enclave string) core.S
 			n, _ := self.RecvBatch(req, st.recvBufs, st.recvLens)
 			for j := 0; j < n; j++ {
 				msg, err := netactors.ParseMsg(st.recvBufs[j][:st.recvLens[j]])
-				if err != nil || msg.Type != netactors.MsgData {
+				if err != nil {
 					continue
 				}
-				request, _, err := ParseRequest(msg.Data)
-				if err != nil {
+				switch msg.Type {
+				case netactors.MsgClosed:
+					delete(st.replays, msg.Sock)
+					continue
+				case netactors.MsgData:
+				default:
 					continue
 				}
 				self.Progress()
-				resp := srv.execute(self, uint32(i), request)
-				buf, err := resp.AppendTo(st.respBuf[:0])
-				if err != nil {
+				var out []byte
+				if len(msg.Data) > 0 && transport.IsFramed(msg.Data[0]) {
+					out = srv.executeFramed(self, st, opts, uint32(i), msg)
+				} else {
+					out = srv.executeLegacy(self, st, uint32(i), msg)
+				}
+				if out == nil {
 					continue
 				}
-				st.respBuf = buf
-				m, err := (netactors.Msg{Type: netactors.MsgData, Sock: msg.Sock, Data: buf}).AppendTo(st.stage.Slot())
+				m, err := (netactors.Msg{Type: netactors.MsgData, Sock: msg.Sock, Data: out}).AppendTo(st.stage.Slot())
 				if err != nil {
 					continue
 				}
@@ -330,6 +562,67 @@ func (srv *Server) storeSpec(opts Options, i, worker int, enclave string) core.S
 			srv.flushWrites(st, write)
 		},
 	}
+}
+
+// executeLegacy runs one bare legacy request and returns the encoded
+// legacy response (nil to drop).
+func (srv *Server) executeLegacy(self *core.Self, st *storeState, shard uint32, msg netactors.Msg) []byte {
+	request, _, err := ParseRequest(msg.Data)
+	if err != nil {
+		return nil
+	}
+	resp := srv.execute(self, shard, request)
+	buf, err := resp.AppendTo(st.respBuf[:0])
+	if err != nil {
+		return nil
+	}
+	st.respBuf = buf
+	return buf
+}
+
+// executeFramed runs one transport-framed request with replay dedup and
+// returns the encoded TResponse frame (nil to drop). The response
+// credit returns the request frame's bytes to the client's window.
+func (srv *Server) executeFramed(self *core.Self, st *storeState, opts Options, shard uint32, msg netactors.Msg) []byte {
+	f, _, err := transport.ParseFrame(msg.Data)
+	if err != nil || f.Type != transport.TRequest {
+		return nil
+	}
+	srv.pipelined.Add(1)
+	sess := st.replayFor(msg.Sock, opts.ReplayWindow)
+	cached, verdict := sess.Admit(f.Opaque)
+	switch verdict {
+	case transport.VerdictReplay:
+		srv.replayed.Add(1)
+		return cached
+	case transport.VerdictReject:
+		// The FRONTEND polices the opaque horizon; a reject here means
+		// its notion and ours diverged (e.g. session eviction). Refuse
+		// silently — the client's resend discipline treats it as loss.
+		return nil
+	}
+	request, _, err := ParseRequest(f.Payload)
+	if err != nil {
+		return nil
+	}
+	resp := srv.execute(self, shard, request)
+	inner, err := resp.AppendTo(st.respBuf[:0])
+	if err != nil {
+		return nil
+	}
+	st.respBuf = inner
+	frame, err := transport.AppendFrame(st.frameBuf[:0], transport.Frame{
+		Type:    transport.TResponse,
+		Opaque:  f.Opaque,
+		Credit:  uint32(len(msg.Data)),
+		Payload: inner,
+	})
+	if err != nil {
+		return nil
+	}
+	st.frameBuf = frame
+	sess.Store(f.Opaque, frame)
+	return frame
 }
 
 // flushWrites sends the staged responses as one batch, spilling the

@@ -1,0 +1,203 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/transport"
+)
+
+// KV is the operation surface shared by the legacy synchronous Client
+// and the pipelined client, so callers (load generators, tests) can
+// swap transports without caring which one the server negotiated.
+type KV interface {
+	Get(key []byte) (val []byte, ok bool, err error)
+	Set(key, val []byte) error
+	Del(key []byte) (found bool, err error)
+	Close() error
+}
+
+var (
+	_ KV = (*Client)(nil)
+	_ KV = (*PipelinedClient)(nil)
+)
+
+// PipelineOptions configures a pipelined client.
+type PipelineOptions struct {
+	// Depth caps concurrent in-flight requests (default 64 — half the
+	// server's default replay window, so resends always dedup).
+	Depth int
+	// Timeout bounds each call (default 5s).
+	Timeout time.Duration
+	// RecvWindow is the client's receive-buffer advertisement
+	// (informational in v1; default transport.DefaultWindow).
+	RecvWindow uint32
+}
+
+// PipelinedClient speaks the framed multiplexed KV protocol: many
+// requests ride one connection concurrently, responses return out of
+// order correlated by opaque, and the transport session enforces the
+// server's flow-control window and at-least-once resends. Safe for
+// concurrent use by any number of goroutines.
+//
+// The legacy per-request ID is unused in framed mode (correlation is
+// the frame opaque) and always sent as zero.
+type PipelinedClient struct {
+	sess *transport.Session
+}
+
+// Pending is one in-flight pipelined operation; Wait blocks for its
+// result. Issue deep, Wait in any order — that is the pipelining.
+type Pending struct {
+	c    *transport.Call
+	sess *transport.Session
+	op   Op
+}
+
+// DialPipelined connects and performs the framed handshake. A legacy
+// server (which drops the unknown HELLO bytes) yields
+// transport.ErrLegacyPeer; use DialAuto to downgrade automatically.
+func DialPipelined(addr string, opts PipelineOptions) (*PipelinedClient, error) {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := transport.Connect(conn, transport.SessionOptions{
+		Features:         transport.FeatureKV,
+		RecvWindow:       opts.RecvWindow,
+		Depth:            opts.Depth,
+		HandshakeTimeout: timeout,
+		CallTimeout:      timeout,
+	})
+	if err != nil {
+		return nil, err // Connect closed conn
+	}
+	if sess.PeerFeatures()&transport.FeatureKV == 0 {
+		_ = sess.Close()
+		return nil, fmt.Errorf("kv: peer did not grant the KV feature")
+	}
+	return &PipelinedClient{sess: sess}, nil
+}
+
+// DialAuto connects pipelined and downgrades to the legacy synchronous
+// client when the server predates the framed protocol.
+func DialAuto(addr string, timeout time.Duration) (KV, error) {
+	pc, err := DialPipelined(addr, PipelineOptions{Timeout: timeout})
+	if err == nil {
+		return pc, nil
+	}
+	if !errors.Is(err, transport.ErrLegacyPeer) {
+		return nil, err
+	}
+	return Dial(addr, timeout)
+}
+
+// Close tears the session down; in-flight calls error.
+func (c *PipelinedClient) Close() error { return c.sess.Close() }
+
+// Stats snapshots the underlying session counters.
+func (c *PipelinedClient) Stats() transport.SessionStats { return c.sess.Stats() }
+
+// issue encodes one request into a frame payload and puts it in flight.
+func (c *PipelinedClient) issue(req Request) (*Pending, error) {
+	payload, err := req.AppendTo(nil)
+	if err != nil {
+		return nil, err
+	}
+	call, err := c.sess.Issue(transport.TRequest, payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{c: call, sess: c.sess, op: req.Op}, nil
+}
+
+// IssueGet puts a GET in flight without waiting.
+func (c *PipelinedClient) IssueGet(key []byte) (*Pending, error) {
+	return c.issue(Request{Op: OpGet, Key: key})
+}
+
+// IssueSet puts a SET in flight without waiting.
+func (c *PipelinedClient) IssueSet(key, val []byte) (*Pending, error) {
+	return c.issue(Request{Op: OpSet, Key: key, Val: val})
+}
+
+// IssueDel puts a DEL in flight without waiting.
+func (c *PipelinedClient) IssueDel(key []byte) (*Pending, error) {
+	return c.issue(Request{Op: OpDel, Key: key})
+}
+
+// Wait blocks until the operation's response arrives (with the
+// session's at-least-once resends underneath) and decodes it.
+func (p *Pending) Wait() (Response, error) {
+	f, err := p.sess.Wait(p.c)
+	if err != nil {
+		return Response{}, err
+	}
+	resp, _, err := ParseResponse(f.Payload)
+	if err != nil {
+		return Response{}, fmt.Errorf("kv: bad framed response: %w", err)
+	}
+	return resp, nil
+}
+
+// Get looks key up; ok is false when the key is absent.
+func (c *PipelinedClient) Get(key []byte) (val []byte, ok bool, err error) {
+	p, err := c.IssueGet(key)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := p.Wait()
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Status {
+	case StatusValue:
+		return append([]byte(nil), resp.Val...), true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("kv: server error: %s", resp.Val)
+	}
+}
+
+// Set stores key → val.
+func (c *PipelinedClient) Set(key, val []byte) error {
+	p, err := c.IssueSet(key, val)
+	if err != nil {
+		return err
+	}
+	resp, err := p.Wait()
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kv: server error: %s", resp.Val)
+	}
+	return nil
+}
+
+// Del removes key; found reports whether it existed.
+func (c *PipelinedClient) Del(key []byte) (found bool, err error) {
+	p, err := c.IssueDel(key)
+	if err != nil {
+		return false, err
+	}
+	resp, err := p.Wait()
+	if err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("kv: server error: %s", resp.Val)
+	}
+}

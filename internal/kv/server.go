@@ -14,6 +14,7 @@ import (
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/trace"
+	"github.com/eactors/eactors-go/internal/transport"
 )
 
 // Options configures the KV service deployment. Like the XMPP server,
@@ -42,6 +43,22 @@ type Options struct {
 	// drains only sockets with pending bytes. Disabled (zero) keeps the
 	// legacy per-connection pumps.
 	NetLoop netloop.Config
+
+	// SessionWindow is the per-session receive-buffer advertisement for
+	// pipelined (framed) clients: how many request bytes one session may
+	// keep in flight before the transport window throttles it
+	// (transport.DefaultWindow when zero). Legacy one-at-a-time clients
+	// are unaffected.
+	SessionWindow int
+	// ReplayWindow is the per-session response-cache depth the KVSTOREs
+	// keep for pipelined resend dedup — it must exceed the deepest
+	// client pipeline (transport.DefaultReplayWindow when zero).
+	ReplayWindow int
+	// DisablePipelining rejects the framed transport entirely, making
+	// the FRONTEND behave like a pre-transport legacy server (framed
+	// hellos are dropped as unknown opcodes, so new clients downgrade).
+	// Interop escape hatch; also exercised by the downgrade tests.
+	DisablePipelining bool
 
 	// Store, when non-nil, is used instead of opening one (the server
 	// then does not close it). Its shard count must equal Shards.
@@ -83,6 +100,13 @@ type Stats struct {
 	NotFound uint64
 	// Errors counts StatusErr responses.
 	Errors uint64
+	// Sessions counts framed (pipelined) session handshakes accepted.
+	Sessions uint64
+	// Pipelined counts operations that arrived on framed sessions.
+	Pipelined uint64
+	// Replayed counts resends answered from the replay cache without
+	// re-executing (the exactly-once dedup hits).
+	Replayed uint64
 }
 
 // Server is a running KV service.
@@ -94,6 +118,7 @@ type Server struct {
 	addr      string
 
 	gets, sets, dels, notFound, errs atomic.Uint64
+	sessions, pipelined, replayed    atomic.Uint64
 }
 
 // Addr returns the bound listen address.
@@ -118,6 +143,8 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Gets: s.gets.Load(), Sets: s.sets.Load(), Dels: s.dels.Load(),
 		NotFound: s.notFound.Load(), Errors: s.errs.Load(),
+		Sessions: s.sessions.Load(), Pipelined: s.pipelined.Load(),
+		Replayed: s.replayed.Load(),
 	}
 }
 
@@ -148,6 +175,12 @@ func Start(opts Options) (*Server, error) {
 	}
 	if opts.FlushInterval == 0 {
 		opts.FlushInterval = 100 * time.Millisecond
+	}
+	if opts.SessionWindow <= 0 {
+		opts.SessionWindow = transport.DefaultWindow
+	}
+	if opts.ReplayWindow <= 0 {
+		opts.ReplayWindow = transport.DefaultReplayWindow
 	}
 	platform := opts.Platform
 	if platform == nil {
@@ -203,6 +236,9 @@ func Start(opts Options) (*Server, error) {
 		reg.CounterFunc("eactors_kv_dels", "KV DEL operations served", srv.dels.Load)
 		reg.CounterFunc("eactors_kv_not_found", "KV GET/DEL misses", srv.notFound.Load)
 		reg.CounterFunc("eactors_kv_errors", "KV error responses", srv.errs.Load)
+		reg.CounterFunc("eactors_kv_sessions", "KV pipelined session handshakes", srv.sessions.Load)
+		reg.CounterFunc("eactors_kv_pipelined", "KV operations on framed sessions", srv.pipelined.Load)
+		reg.CounterFunc("eactors_kv_replayed", "KV resends answered from the replay cache", srv.replayed.Load)
 	}
 	if err := rt.Start(); err != nil {
 		srv.Stop()
@@ -252,11 +288,14 @@ func (srv *Server) buildConfig(opts Options) (core.Config, chan string) {
 	// untrusted endpoint could read them anyway. The req-i channels are
 	// the trust boundary — they encrypt automatically when the KVSTORE
 	// is enclaved.
+	// fwrite is the FRONTEND's direct line to the WRITER for session
+	// control frames (HELLO-ACK, GOAWAY) that no KVSTORE ever sees.
 	cfg.Channels = append(cfg.Channels,
 		core.ChannelSpec{Name: "open", A: "frontend", B: "opener", Plaintext: true},
 		core.ChannelSpec{Name: "accept", A: "frontend", B: "accepter", Plaintext: true},
 		core.ChannelSpec{Name: "read", A: "frontend", B: "reader", Plaintext: true, Capacity: 4096},
 		core.ChannelSpec{Name: "close", A: "frontend", B: "closer", Plaintext: true},
+		core.ChannelSpec{Name: "fwrite", A: "frontend", B: "writer", Plaintext: true, Capacity: 512},
 	)
 	writeChans := make([]string, 0, shards)
 	for i := 0; i < shards; i++ {
@@ -273,7 +312,7 @@ func (srv *Server) buildConfig(opts Options) (core.Config, chan string) {
 		srv.sys.OpenerSpec("opener", netWorker, "open"),
 		srv.sys.AccepterSpec("accepter", netWorker, "accept"),
 		srv.sys.ReaderSpec("reader", netWorker, "read"),
-		srv.sys.WriterSpec("writer", netWorker, writeChans...),
+		srv.sys.WriterSpec("writer", netWorker, append(writeChans, "fwrite")...),
 		srv.sys.CloserSpec("closer", netWorker, "close"),
 		srv.frontendSpec(opts, frontWorker, shards, addrCh),
 	)

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlowControlThrottlesSlowReader is the flow-control regression the
+// window exists for: a receiver advertising a tiny buffer and consuming
+// slowly must throttle the sender to a bounded in-flight byte count —
+// every request still completes (zero drops), the sender's high-water
+// mark never exceeds the advertisement, and the run finishes inside a
+// deadline (throttling, not wedging).
+func TestFlowControlThrottlesSlowReader(t *testing.T) {
+	const (
+		window   = 300 // fits ~3 hundred-byte request frames
+		reqBytes = 100
+		payload  = reqBytes - HeaderSize
+		calls    = 120
+		senders  = 6
+	)
+	var served atomic.Int32
+	handler := func(f Frame) (Frame, bool) {
+		time.Sleep(500 * time.Microsecond) // deliberately slow consumer
+		served.Add(1)
+		return Frame{Type: TResponse, Payload: f.Payload[:1]}, true
+	}
+	addr := serveOne(t, handler, ServeOptions{Features: FeatureKV, Window: window})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Connect(conn, SessionOptions{Features: FeatureKV, Depth: 64, CallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Window().Limit() != window {
+		t.Fatalf("advertised window = %d", s.Window().Limit())
+	}
+
+	start := time.Now()
+	buf := make([]byte, payload)
+	var wg sync.WaitGroup
+	errs := make(chan error, senders)
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls/senders; i++ {
+				if _, err := s.Call(TRequest, buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err) // any error is a drop — flow control must not shed
+	}
+	elapsed := time.Since(start)
+
+	st := s.Stats()
+	if int(served.Load()) != calls || st.Completed != calls {
+		t.Fatalf("served %d / completed %d of %d", served.Load(), st.Completed, calls)
+	}
+	// Byte accounting: the invariant the whole mechanism exists for.
+	if st.MaxInFlightBytes > window {
+		t.Fatalf("in-flight high-water %d exceeded the %d-byte advertisement", st.MaxInFlightBytes, window)
+	}
+	if st.MaxInFlightBytes < reqBytes {
+		t.Fatalf("high-water %d never reached one frame — accounting broken", st.MaxInFlightBytes)
+	}
+	if got := s.Window().InFlight(); got != 0 {
+		t.Fatalf("%d bytes still reserved after all calls completed", got)
+	}
+	// Deadline: ~120 serial handler sleeps is well under a second; a
+	// wedged window would hit CallTimeout instead.
+	if elapsed > 20*time.Second {
+		t.Fatalf("throttled run took %v", elapsed)
+	}
+}

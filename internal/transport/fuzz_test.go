@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzFrameDecode hammers the decoder with arbitrary bytes: it must
+// never panic, never over-read, classify every failure as short (feed
+// more) or bad (drop stream), and anything it accepts must re-encode to
+// the identical bytes. The chunked Scanner must agree with the one-shot
+// parser on the same stream.
+func FuzzFrameDecode(f *testing.F) {
+	seed, _ := AppendFrame(nil, Frame{Type: TRequest, Opaque: 7, Payload: []byte("k")})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xE1})
+	f.Add(bytes.Repeat([]byte{0xE3}, HeaderSize))
+	hello, _ := Hello(FeatureKV, DefaultWindow)
+	hb, _ := AppendFrame(nil, hello)
+	f.Add(append(hb, 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := ParseFrame(data)
+		if err != nil {
+			if !errors.Is(err, ErrShortFrame) && !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if n < HeaderSize || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if len(fr.Payload) != n-HeaderSize {
+			t.Fatalf("payload %d for %d consumed", len(fr.Payload), n)
+		}
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n  in  %x\n  out %x", data[:n], re)
+		}
+		// The scanner, fed the same bytes one at a time, must yield the
+		// same first frame.
+		var sc Scanner
+		for i := range data[:n] {
+			sc.Feed(data[i : i+1])
+		}
+		got, raw, ok, err := sc.Next()
+		if err != nil || !ok {
+			t.Fatalf("scanner rejected parseable stream: ok=%v err=%v", ok, err)
+		}
+		if got.Type != fr.Type || got.Opaque != fr.Opaque || got.Credit != fr.Credit ||
+			got.Flags != fr.Flags || !bytes.Equal(got.Payload, fr.Payload) || !bytes.Equal(raw, data[:n]) {
+			t.Fatal("scanner and one-shot parser disagree")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the encoder with arbitrary field values:
+// everything AppendFrame accepts must decode back to identical fields,
+// and the only inputs it may refuse are the documented ones (invalid
+// type, oversized payload).
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(TRequest), byte(0), uint32(1), uint32(0), []byte("payload"))
+	f.Add(byte(THello), byte(Version1), FeatureKV, uint32(DefaultWindow), []byte{})
+	f.Add(byte(TGoAway), byte(0xFF), uint32(0xFFFFFFFF), uint32(0xFFFFFFFF), []byte("bye"))
+	f.Add(byte(0x00), byte(1), uint32(2), uint32(3), []byte("not a frame"))
+	f.Fuzz(func(t *testing.T, typ, flags byte, opaque, credit uint32, payload []byte) {
+		in := Frame{Type: Type(typ), Flags: flags, Opaque: opaque, Credit: credit, Payload: payload}
+		buf, err := AppendFrame(nil, in)
+		if err != nil {
+			if in.Type.Valid() && len(payload) <= MaxPayload {
+				t.Fatalf("valid frame refused: %v", err)
+			}
+			return
+		}
+		if !in.Type.Valid() {
+			t.Fatalf("invalid type %#x encoded", typ)
+		}
+		out, n, err := ParseFrame(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("decode of own encoding: n=%d err=%v", n, err)
+		}
+		if out.Type != in.Type || out.Flags != in.Flags || out.Opaque != in.Opaque ||
+			out.Credit != in.Credit || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("roundtrip mismatch: %+v != %+v", out, in)
+		}
+	})
+}

@@ -1,0 +1,11 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/eactors/eactors-go/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if tests leak goroutines — session
+// readers, serve loops and test servers must all unwind on Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

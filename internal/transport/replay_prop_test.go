@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/eactors/eactors-go/internal/faults"
+)
+
+// The replay-window property: under an adversarial but reproducible
+// schedule of lost requests (SendFail) and lost responses
+// (DoorbellDrop), the client's blind at-least-once resend discipline
+// plus the server's replay window yields exactly-once *effect* — every
+// SET/DEL mutates the store exactly once, and every delivery of a GET's
+// response (original or replayed) carries the value of its single
+// original execution, never a stale or re-read one.
+//
+// The model mirrors the real split: the "client" resends every
+// uncompleted in-flight op each round (pipelined Depth deep); the
+// "server" is the production Replay window plus a tiny store. The wire
+// drops are driven by the shared faults.Injector, so a failing seed
+// reproduces its exact schedule.
+
+type propOp struct {
+	opaque uint32
+	kind   byte // 0 = GET, 1 = SET, 2 = DEL
+	key    byte
+	val    uint32
+}
+
+// propExecute applies one op to the model store and encodes a response
+// that captures the observed state.
+func propExecute(store map[byte]uint32, op propOp) []byte {
+	resp := []byte{op.kind, op.key}
+	switch op.kind {
+	case 1:
+		store[op.key] = op.val
+		resp = binary.LittleEndian.AppendUint32(resp, op.val)
+	case 2:
+		delete(store, op.key)
+	default:
+		if v, ok := store[op.key]; ok {
+			resp = binary.LittleEndian.AppendUint32(resp, v)
+		} else {
+			resp = append(resp, 0xFF) // not found
+		}
+	}
+	return resp
+}
+
+func replayScheduleHolds(seed uint64) error {
+	inj := faults.New(faults.Config{Seed: seed, Rules: []faults.Rule{
+		{Site: faults.SiteSend, Class: faults.SendFail, Rate: 0.35},
+		{Site: faults.SiteRecv, Class: faults.DoorbellDrop, Rate: 0.35},
+	}})
+	const (
+		capacity = 8
+		depth    = 4 // the invariant: depth <= capacity/2
+		numOps   = 48
+	)
+	// Deterministic op sequence from the seed (xorshift — no global
+	// randomness, so every failure replays).
+	rng := seed | 1
+	next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+	ops := make([]propOp, numOps)
+	for i := range ops {
+		ops[i] = propOp{opaque: uint32(i + 1), kind: byte(next() % 3), key: byte(next() % 5), val: uint32(next())}
+	}
+
+	replay := NewReplay(capacity)
+	store := map[byte]uint32{}
+	effects := make(map[uint32]int)     // opaque → executions (must end at exactly 1)
+	expected := make(map[uint32][]byte) // opaque → response of the single execution
+
+	window := []int{}
+	nextIssue, completed, rounds := 0, 0, 0
+	for completed < numOps {
+		if rounds++; rounds > 100000 {
+			return fmt.Errorf("seed %d: no convergence after %d rounds (%s)", seed, rounds, inj)
+		}
+		// Issue up to Depth concurrent ops, under the tag discipline the
+		// protocol documents (and the FRONTEND enforces by dropping
+		// violators): a new opaque may not lead the oldest
+		// unacknowledged one by the replay window or more.
+		for len(window) < depth && nextIssue < numOps &&
+			(len(window) == 0 || nextIssue-window[0] < capacity) {
+			window = append(window, nextIssue)
+			nextIssue++
+		}
+		var remaining []int
+		for _, idx := range window {
+			op := ops[idx]
+			// The request crosses the wire — or not.
+			if inj.At(faults.SiteSend).Class == faults.SendFail {
+				remaining = append(remaining, idx)
+				continue
+			}
+			cached, verdict := replay.Admit(op.opaque)
+			var resp []byte
+			switch verdict {
+			case VerdictReject:
+				return fmt.Errorf("seed %d: opaque %d rejected despite depth %d <= window %d/2 (%s)",
+					seed, op.opaque, depth, capacity, inj)
+			case VerdictReplay:
+				resp = cached
+			case VerdictNew:
+				effects[op.opaque]++
+				resp = propExecute(store, op)
+				expected[op.opaque] = append([]byte(nil), resp...)
+				replay.Store(op.opaque, resp)
+			}
+			// Every delivery must carry the single execution's bytes —
+			// a replay that re-read the store would diverge here.
+			if want, ok := expected[op.opaque]; ok && !bytes.Equal(resp, want) {
+				return fmt.Errorf("seed %d: opaque %d stale response %x != %x (%s)", seed, op.opaque, resp, want, inj)
+			}
+			// The response crosses back — or not (the client then
+			// resends an op whose effect already happened).
+			if inj.At(faults.SiteRecv).Class == faults.DoorbellDrop {
+				remaining = append(remaining, idx)
+				continue
+			}
+			completed++
+		}
+		window = remaining
+	}
+	for _, op := range ops {
+		if n := effects[op.opaque]; n != 1 {
+			return fmt.Errorf("seed %d: opaque %d (kind %d) executed %d times (%s)", seed, op.opaque, op.kind, n, inj)
+		}
+	}
+	return nil
+}
+
+func TestReplayWindowProperty(t *testing.T) {
+	// 200+ independent schedules (plus a few fixed regression seeds);
+	// any failure prints its seed and the injector schedule line.
+	for _, seed := range []uint64{0, 1, 42, 0xDEADBEEF, ^uint64(0)} {
+		if err := replayScheduleHolds(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prop := func(seed uint64) bool {
+		if err := replayScheduleHolds(seed); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 220}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayNoStaleAcrossOpaqueReuse pins the wraparound-reuse hazard
+// directly: once an opaque's cached response is evicted, reusing the
+// tag must reject — replaying the evicted generation's value or
+// re-executing under an old tag would both be wrong.
+func TestReplayNoStaleAcrossOpaqueReuse(t *testing.T) {
+	r := NewReplay(4)
+	store := map[byte]uint32{}
+	_, _ = r.Admit(1)
+	first := propExecute(store, propOp{opaque: 1, kind: 1, key: 9, val: 111})
+	r.Store(1, first)
+	for op := uint32(2); op <= 8; op++ {
+		if _, v := r.Admit(op); v != VerdictNew {
+			t.Fatalf("opaque %d = %v", op, v)
+		}
+		r.Store(op, propExecute(store, propOp{opaque: op, kind: 1, key: 9, val: op}))
+	}
+	// Tag 1's entry is long evicted; a "reused" tag 1 must not surface
+	// the 111 response nor execute.
+	if cached, v := r.Admit(1); v != VerdictReject {
+		t.Fatalf("reused opaque verdict = %v (cached %x)", v, cached)
+	}
+}

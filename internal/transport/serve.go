@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Handler produces the response for one admitted request frame. The
+// returned frame's Type/Flags/Payload are used; Opaque and Credit are
+// filled by Serve (opaque echoed, credit = the request frame's bytes).
+// Returning ok=false terminates the session with a GOAWAY.
+type Handler func(f Frame) (resp Frame, ok bool)
+
+// ServeOptions configures an accepting session.
+type ServeOptions struct {
+	// Features masks the capability bits granted to the client
+	// (intersection with its HELLO offer).
+	Features uint32
+	// Window is the receive-buffer advertisement — how many request
+	// bytes the client may keep in flight (DefaultWindow when zero).
+	Window uint32
+	// ReplayWindow is the response-cache depth for resend dedup
+	// (DefaultReplayWindow when zero).
+	ReplayWindow int
+	// HandshakeTimeout bounds the wait for HELLO (default 5s).
+	HandshakeTimeout time.Duration
+	// ReadBuf sizes the read chunk buffer (default 64 KiB).
+	ReadBuf int
+}
+
+func (o *ServeOptions) defaults() {
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.ReplayWindow <= 0 {
+		o.ReplayWindow = DefaultReplayWindow
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.ReadBuf <= 0 {
+		o.ReadBuf = 64 << 10
+	}
+}
+
+// Serve speaks the framed protocol on conn until the peer closes or
+// sends GOAWAY: it performs the accepting handshake, then runs handler
+// for every admitted request and writes the response back with the
+// request's opaque and returned credit. Resends replay out of the
+// session's Replay cache without re-invoking handler, so handler
+// effects are exactly-once per opaque. Requests are handled serially on
+// the calling goroutine — a deliberately minimal endpoint for
+// federation stubs and tests; the KV service embeds the same codec and
+// Replay inside its actor pipeline instead.
+//
+// Serve does not close conn; callers own its lifecycle.
+func Serve(conn net.Conn, handler Handler, opts ServeOptions) error {
+	opts.defaults()
+	var sc Scanner
+	buf := make([]byte, opts.ReadBuf)
+
+	if err := conn.SetReadDeadline(time.Now().Add(opts.HandshakeTimeout)); err != nil {
+		return err
+	}
+	hello, err := readFrame(conn, &sc, buf)
+	if err != nil {
+		return fmt.Errorf("transport: serve handshake: %w", err)
+	}
+	if hello.Type != THello {
+		return fmt.Errorf("transport: serve: first frame was %s, want hello", hello.Type)
+	}
+	if hello.Flags != Version1 {
+		return fmt.Errorf("transport: serve: unsupported version %d", hello.Flags)
+	}
+	ackBuf, err := AppendFrame(nil, HelloAck(hello.Opaque&opts.Features, opts.Window))
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(ackBuf); err != nil {
+		return err
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return err
+	}
+
+	replay := NewReplay(opts.ReplayWindow)
+	wbuf := ackBuf[:0]
+	for {
+		f, err := readFrame(conn, &sc, buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case TGoAway:
+			return nil
+		case THello:
+			return fmt.Errorf("transport: serve: duplicate hello")
+		default:
+			credit := uint32(HeaderSize + len(f.Payload))
+			cached, verdict := replay.Admit(f.Opaque)
+			switch verdict {
+			case VerdictReplay:
+				if _, err := conn.Write(cached); err != nil {
+					return err
+				}
+			case VerdictReject:
+				// Outside the replay window: refusing is the only safe
+				// answer (see Replay); the client's tag discipline is
+				// broken, so terminate.
+				goaway := Frame{Type: TGoAway, Opaque: f.Opaque, Payload: []byte("opaque outside replay window")}
+				if wbuf, err = AppendFrame(wbuf[:0], goaway); err == nil {
+					_, _ = conn.Write(wbuf)
+				}
+				return fmt.Errorf("transport: serve: opaque %d outside replay window", f.Opaque)
+			case VerdictNew:
+				resp, ok := handler(f)
+				if !ok {
+					goaway := Frame{Type: TGoAway, Opaque: f.Opaque, Payload: resp.Payload}
+					if wbuf, err = AppendFrame(wbuf[:0], goaway); err == nil {
+						_, _ = conn.Write(wbuf)
+					}
+					return fmt.Errorf("transport: serve: handler rejected %s opaque %d", f.Type, f.Opaque)
+				}
+				resp.Opaque = f.Opaque
+				resp.Credit = credit
+				if wbuf, err = AppendFrame(wbuf[:0], resp); err != nil {
+					return err
+				}
+				replay.Store(f.Opaque, wbuf)
+				if _, err := conn.Write(wbuf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// readFrame blocks until one complete frame is scanned from conn.
+func readFrame(conn net.Conn, sc *Scanner, buf []byte) (Frame, error) {
+	for {
+		if f, _, ok, err := sc.Next(); err != nil || ok {
+			return f, err
+		}
+		n, err := conn.Read(buf)
+		if n > 0 {
+			sc.Feed(buf[:n])
+			continue
+		}
+		if err != nil {
+			return Frame{}, err
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package xmpp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/transport"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+// Server-to-server federation stub (ROADMAP item 3): remote XMPP
+// domains exchange stanzas over the framed transport instead of an XML
+// stream — one TCP link carries many concurrent TStanza frames, each
+// acknowledged by a TResponse, with the transport's opaque replay
+// window deduplicating at-least-once retransmits and the handshake's
+// window advertisement bounding what a slow federation peer can have
+// thrown at it. The stub validates and counts; routing federated
+// stanzas into the local shard actors is future work, which is why this
+// lives beside (not inside) the actor pipeline.
+
+// S2SOptions configures a federation listener.
+type S2SOptions struct {
+	// Window is the per-link receive-buffer advertisement
+	// (transport.DefaultWindow when zero).
+	Window uint32
+	// ReplayWindow is the per-link resend-dedup depth
+	// (transport.DefaultReplayWindow when zero).
+	ReplayWindow int
+}
+
+// S2SStats snapshots a federation listener's counters.
+type S2SStats struct {
+	// Links counts accepted federation sessions.
+	Links uint64
+	// Stanzas counts well-formed stanzas acknowledged.
+	Stanzas uint64
+	// Rejected counts malformed stanzas (each kills its link).
+	Rejected uint64
+}
+
+// S2SServer accepts framed federation links for one local domain.
+type S2SServer struct {
+	domain string
+	opts   S2SOptions
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	links, stanzas, rejected atomic.Uint64
+}
+
+// ListenS2S starts a federation listener for domain on addr.
+func ListenS2S(addr, domain string, opts S2SOptions) (*S2SServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &S2SServer{domain: domain, opts: opts, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *S2SServer) Addr() string { return s.ln.Addr().String() }
+
+// Stats snapshots the counters.
+func (s *S2SServer) Stats() S2SStats {
+	return S2SStats{Links: s.links.Load(), Stanzas: s.stanzas.Load(), Rejected: s.rejected.Load()}
+}
+
+// Close stops accepting, tears down live links, and joins every
+// serving goroutine.
+func (s *S2SServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *S2SServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveLink(conn)
+	}
+}
+
+func (s *S2SServer) serveLink(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	s.links.Add(1)
+	//nolint — a peer hanging up mid-link is normal federation churn
+	_ = transport.Serve(conn, s.handleFrame, transport.ServeOptions{
+		Features:     transport.FeatureS2S,
+		Window:       s.opts.Window,
+		ReplayWindow: s.opts.ReplayWindow,
+	})
+}
+
+// handleFrame validates one federated stanza and acks it. A malformed
+// stanza is a protocol violation from a *server* peer (unlike flaky
+// clients, federated servers speak canonical XML), so it terminates the
+// link via GOAWAY.
+func (s *S2SServer) handleFrame(f transport.Frame) (transport.Frame, bool) {
+	if f.Type != transport.TStanza {
+		s.rejected.Add(1)
+		return transport.Frame{Type: transport.TResponse, Payload: []byte("s2s: want stanza frames")}, false
+	}
+	var sc stanza.Scanner
+	sc.Feed(f.Payload)
+	st, ok, err := sc.Next()
+	if err != nil || !ok || sc.Buffered() != 0 {
+		s.rejected.Add(1)
+		return transport.Frame{Type: transport.TResponse, Payload: []byte("s2s: malformed stanza")}, false
+	}
+	_ = st // stub: validated and acked; shard routing is future work
+	s.stanzas.Add(1)
+	return transport.Frame{Type: transport.TResponse}, true
+}
+
+// S2SLink is the dialing side of a federation link: a transport session
+// restricted to TStanza traffic. Safe for concurrent use.
+type S2SLink struct {
+	sess *transport.Session
+}
+
+// DialS2S opens a federation link to a remote domain's s2s endpoint.
+// timeout bounds the dial, handshake and each stanza ack (0 means 5s).
+func DialS2S(addr string, timeout time.Duration) (*S2SLink, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := transport.Connect(conn, transport.SessionOptions{
+		Features:         transport.FeatureS2S,
+		HandshakeTimeout: timeout,
+		CallTimeout:      timeout,
+	})
+	if err != nil {
+		return nil, err // Connect closed conn
+	}
+	if sess.PeerFeatures()&transport.FeatureS2S == 0 {
+		_ = sess.Close()
+		return nil, fmt.Errorf("xmpp: peer did not grant the s2s feature")
+	}
+	return &S2SLink{sess: sess}, nil
+}
+
+// IssueStanza puts one stanza in flight without waiting for its ack —
+// federation links pipeline exactly like the KV client.
+func (l *S2SLink) IssueStanza(xml []byte) (*transport.Call, error) {
+	return l.sess.Issue(transport.TStanza, xml)
+}
+
+// WaitAck blocks until an issued stanza's ack arrives.
+func (l *S2SLink) WaitAck(c *transport.Call) error {
+	_, err := l.sess.Wait(c)
+	return err
+}
+
+// SendStanza issues and waits in one step.
+func (l *S2SLink) SendStanza(xml []byte) error {
+	_, err := l.sess.Call(transport.TStanza, xml)
+	return err
+}
+
+// Stats snapshots the underlying session counters.
+func (l *S2SLink) Stats() transport.SessionStats { return l.sess.Stats() }
+
+// Close tears the link down.
+func (l *S2SLink) Close() error { return l.sess.Close() }

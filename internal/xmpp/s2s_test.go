@@ -1,0 +1,139 @@
+package xmpp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/transport"
+	"github.com/eactors/eactors-go/internal/xmpp/stanza"
+)
+
+func startS2S(t *testing.T, opts S2SOptions) *S2SServer {
+	t.Helper()
+	srv, err := ListenS2S("127.0.0.1:0", "example.org", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestS2SPipelinedStanzas(t *testing.T) {
+	srv := startS2S(t, S2SOptions{})
+	link, err := DialS2S(srv.Addr(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = link.Close() })
+
+	// Synchronous sends work...
+	if err := link.SendStanza([]byte(stanza.Message("a@remote", "b@example.org", "hi"))); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a full pipeline of issued stanzas acks out of lockstep.
+	const depth = 48
+	calls := make([]*transport.Call, depth)
+	for i := range calls {
+		xml := stanza.Message("a@remote", "b@example.org", fmt.Sprintf("m%d", i))
+		if calls[i], err = link.IssueStanza([]byte(xml)); err != nil {
+			t.Fatalf("issue %d: %v", i, err)
+		}
+	}
+	for i, c := range calls {
+		if err := link.WaitAck(c); err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.Links != 1 || st.Stanzas != depth+1 || st.Rejected != 0 {
+		t.Fatalf("server stats = %+v", st)
+	}
+	ls := link.Stats()
+	if ls.Completed != depth+1 || ls.MaxInFlightBytes > ls.WindowLimit {
+		t.Fatalf("link stats = %+v", ls)
+	}
+}
+
+func TestS2SConcurrentLinks(t *testing.T) {
+	srv := startS2S(t, S2SOptions{})
+	const links, stanzas = 4, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, links)
+	for id := 0; id < links; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			link, err := DialS2S(srv.Addr(), 10*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer link.Close()
+			for i := 0; i < stanzas; i++ {
+				xml := stanza.Message(fmt.Sprintf("u%d@remote", id), "x@example.org", fmt.Sprintf("m%d", i))
+				if err := link.SendStanza([]byte(xml)); err != nil {
+					errs <- fmt.Errorf("link %d stanza %d: %w", id, i, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Links != links || st.Stanzas != links*stanzas {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestS2SMalformedStanzaKillsLink: federated peers speak canonical XML;
+// garbage terminates the link with GOAWAY rather than limping on.
+func TestS2SMalformedStanzaKillsLink(t *testing.T) {
+	srv := startS2S(t, S2SOptions{})
+	link, err := DialS2S(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = link.Close() })
+	if err := link.SendStanza([]byte("not xml at all")); err == nil {
+		t.Fatal("malformed stanza acked")
+	}
+	if st := srv.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The link is poisoned; further sends fail fast.
+	if err := link.SendStanza([]byte(stanza.Message("a@b", "c@d", "x"))); err == nil {
+		t.Fatal("send on a dead link succeeded")
+	}
+}
+
+// TestS2SRejectsNonS2SClient: a KV-only client must be refused at the
+// feature level, not half-work.
+func TestS2SRejectsNonS2SClient(t *testing.T) {
+	srv := startS2S(t, S2SOptions{})
+	link, err := DialS2S(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = link.Close()
+
+	// A raw session offering only FeatureKV gets no S2S grant.
+	conn, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := transport.Connect(conn, transport.SessionOptions{Features: transport.FeatureKV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sess.Close() })
+	if sess.PeerFeatures()&transport.FeatureS2S != 0 {
+		t.Fatal("s2s feature granted to a kv-only hello")
+	}
+}
