@@ -1,0 +1,92 @@
+// Command eactors-top attaches to a running EActors server's cost-model
+// endpoint (telemetry.Serve with WithProfile — kvserver/xmppserver
+// -metrics -profile) and renders a live per-actor cost table: body CPU,
+// message rates, enclave crossings, seal bandwidth, mailbox dwell, the
+// hottest actor-to-actor communication edges, and per-enclave EPC
+// attribution.
+//
+// Usage:
+//
+//	eactors-top -addr http://127.0.0.1:9090
+//	eactors-top -addr 127.0.0.1:9090 -interval 2s -rows 20
+//	eactors-top -addr 127.0.0.1:9090 -once -o snapshot.json
+//
+// The first frame shows cumulative totals; every later frame shows
+// rates over the refresh window. With -once it prints a single frame
+// and exits (CI-friendly: no terminal control is ever emitted beyond
+// the clear between live frames). With -o the latest raw snapshot is
+// also saved as JSON for offline analysis or the placement tooling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/eactors/eactors-go/internal/pollclient"
+	"github.com/eactors/eactors-go/internal/profile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eactors-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:9090", "server metrics base URL, or a full /debug/profile URL")
+	interval := flag.Duration("interval", time.Second, "refresh interval")
+	rows := flag.Int("rows", 0, "bound the actor table to the hottest N rows (0 = all)")
+	once := flag.Bool("once", false, "print a single frame (cumulative totals) and exit")
+	out := flag.String("o", "", "also write the latest raw snapshot to this file (profile JSON)")
+	flag.Parse()
+
+	cur, body, err := profile.Fetch(*addr)
+	if err != nil {
+		return fmt.Errorf("%w (is the server running with -profile?)", err)
+	}
+	save := func(b []byte) error {
+		if *out == "" {
+			return nil
+		}
+		return pollclient.WriteArtifact(*out, b)
+	}
+	if *once {
+		profile.RenderTop(os.Stdout, profile.Model{}, cur, *rows)
+		return save(body)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	// First frame: totals since server start. Later frames: deltas over
+	// the window, rendered as rates.
+	fmt.Print("\x1b[2J\x1b[H")
+	profile.RenderTop(os.Stdout, profile.Model{}, cur, *rows)
+	prev := cur
+	for {
+		select {
+		case <-sig:
+			fmt.Println()
+			return save(body)
+		case <-ticker.C:
+			next, b, err := profile.Fetch(*addr)
+			if err != nil {
+				// Transient poll failures (server restarting, endpoint
+				// busy) keep the last frame on screen.
+				fmt.Fprintf(os.Stderr, "eactors-top: %v\n", err)
+				continue
+			}
+			body = b
+			fmt.Print("\x1b[2J\x1b[H")
+			profile.RenderTop(os.Stdout, prev, next, *rows)
+			prev = next
+		}
+	}
+}

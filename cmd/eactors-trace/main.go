@@ -6,11 +6,11 @@
 // Usage:
 //
 //	eactors-trace -addr http://127.0.0.1:9090 -n 5
-//	eactors-trace -addr http://127.0.0.1:9090 -n 20 -wait 30s -json out.json
+//	eactors-trace -addr http://127.0.0.1:9090 -n 20 -wait 30s -o out.json
 //
 // It polls /debug/traces until it has seen -n distinct traces (or -wait
-// expires), then prints the most recent ones, newest first. With -json
-// the raw Chrome trace-event snapshot is also saved for
+// expires), then prints the most recent ones, newest first. With -o
+// (alias -json) the raw Chrome trace-event snapshot is also saved for
 // chrome://tracing / Perfetto.
 package main
 
@@ -18,12 +18,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"time"
+
+	"github.com/eactors/eactors-go/internal/pollclient"
 )
 
 func main() {
@@ -57,13 +56,12 @@ func run() error {
 	n := flag.Int("n", 5, "number of distinct traces to sample")
 	wait := flag.Duration("wait", 10*time.Second, "how long to poll for new traces before settling for what arrived")
 	every := flag.Duration("every", 250*time.Millisecond, "poll interval")
-	jsonOut := flag.String("json", "", "also write the final raw snapshot to this file (Chrome trace-event JSON)")
+	var out string
+	flag.StringVar(&out, "o", "", "also write the final raw snapshot to this file (Chrome trace-event JSON)")
+	flag.StringVar(&out, "json", "", "alias of -o")
 	flag.Parse()
 
-	url := *addr
-	if !strings.Contains(url, "/debug/traces") {
-		url = strings.TrimSuffix(url, "/") + "/debug/traces"
-	}
+	url := pollclient.URL(*addr, "/debug/traces")
 
 	// Poll until n distinct traces were observed or the wait expires.
 	// Each snapshot is complete (the server rings never forget until
@@ -72,7 +70,7 @@ func run() error {
 	traces := map[uint64][]chromeEvent{}
 	deadline := time.Now().Add(*wait)
 	for {
-		b, err := fetch(url)
+		b, err := pollclient.Get(url)
 		if err != nil {
 			return err
 		}
@@ -97,11 +95,11 @@ func run() error {
 		return fmt.Errorf("no sampled traces at %s (is the server running with tracing enabled?)", url)
 	}
 
-	if *jsonOut != "" {
-		if err := os.WriteFile(*jsonOut, body, 0o644); err != nil {
+	if out != "" {
+		if err := pollclient.WriteArtifact(out, body); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "eactors-trace: snapshot saved to %s\n", *jsonOut)
+		fmt.Fprintf(os.Stderr, "eactors-trace: snapshot saved to %s\n", out)
 	}
 
 	ids := make([]uint64, 0, len(traces))
@@ -117,19 +115,6 @@ func run() error {
 		printTrace(id, traces[id])
 	}
 	return nil
-}
-
-func fetch(url string) ([]byte, error) {
-	client := &http.Client{Timeout: 5 * time.Second}
-	resp, err := client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: %s", url, resp.Status)
-	}
-	return io.ReadAll(resp.Body)
 }
 
 // start returns the trace's earliest event timestamp in µs.

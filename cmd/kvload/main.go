@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -159,15 +160,22 @@ func run() error {
 	seed := flag.Int64("seed", 1, "workload PRNG seed")
 	depth := flag.Int("depth", 1, "pipelining depth per connection (1 = legacy synchronous protocol, >1 = framed multiplexed transport)")
 	idleConns := flag.Int("idle-conns", 0, "idle connections held open for the whole run (readiness-loop scaling ballast)")
+	jsonOut := flag.Bool("json", false, "print the results as one JSON object on stdout (progress goes to stderr)")
 	flag.Parse()
 	if *server == "" {
 		return fmt.Errorf("-server is required")
 	}
 
+	// With -json, stdout carries exactly one JSON object; everything
+	// else goes to stderr so scripted sweeps can pipe straight into jq.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
 	if limit, err := fdlimit.Raise(); err != nil {
-		fmt.Printf("kvload: fd limit %d (raise failed: %v)\n", limit, err)
+		fmt.Fprintf(info, "kvload: fd limit %d (raise failed: %v)\n", limit, err)
 	} else if limit > 0 {
-		fmt.Printf("kvload: fd limit %d\n", limit)
+		fmt.Fprintf(info, "kvload: fd limit %d\n", limit)
 	}
 	if *idleConns > 0 {
 		closeIdle, err := openIdleConns(*server, *idleConns)
@@ -175,7 +183,7 @@ func run() error {
 			return err
 		}
 		defer closeIdle()
-		fmt.Printf("kvload: holding %d idle connections\n", *idleConns)
+		fmt.Fprintf(info, "kvload: holding %d idle connections\n", *idleConns)
 	}
 
 	var ops, errs atomic.Uint64
@@ -239,9 +247,39 @@ func run() error {
 	wg.Wait()
 
 	total := ops.Load()
+	p50, p95, p99 := rec.percentile(0.50), rec.percentile(0.95), rec.percentile(0.99)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(loadResult{
+			Tool:       "kvload",
+			Ops:        total,
+			DurationNs: duration.Nanoseconds(),
+			OpsPerSec:  float64(total) / duration.Seconds(),
+			Errors:     errs.Load(),
+			Clients:    *clients,
+			Depth:      *depth,
+			P50Ns:      p50.Nanoseconds(),
+			P95Ns:      p95.Nanoseconds(),
+			P99Ns:      p99.Nanoseconds(),
+		})
+	}
 	fmt.Printf("kvload: %d ops in %s = %.0f ops/s (depth=%d, %d errors)\n",
 		total, *duration, float64(total)/duration.Seconds(), *depth, errs.Load())
-	fmt.Printf("kvload: latency p50=%s p95=%s p99=%s\n",
-		rec.percentile(0.50), rec.percentile(0.95), rec.percentile(0.99))
+	fmt.Printf("kvload: latency p50=%s p95=%s p99=%s\n", p50, p95, p99)
 	return nil
+}
+
+// loadResult is the -json results contract: one object on stdout,
+// throughput plus latency percentiles, all durations in nanoseconds.
+type loadResult struct {
+	Tool       string  `json:"tool"`
+	Ops        uint64  `json:"ops"`
+	DurationNs int64   `json:"duration_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Errors     uint64  `json:"errors"`
+	Clients    int     `json:"clients"`
+	Depth      int     `json:"depth,omitempty"`
+	P50Ns      int64   `json:"p50_ns"`
+	P95Ns      int64   `json:"p95_ns"`
+	P99Ns      int64   `json:"p99_ns"`
 }

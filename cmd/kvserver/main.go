@@ -21,6 +21,7 @@ import (
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/kv"
 	"github.com/eactors/eactors-go/internal/netloop"
+	"github.com/eactors/eactors-go/internal/profile"
 	"github.com/eactors/eactors-go/internal/telemetry"
 )
 
@@ -51,7 +52,14 @@ func run() error {
 	metrics := flag.String("metrics", "", "serve telemetry over HTTP at this address, e.g. :9090 (enables telemetry)")
 	traceOn := flag.Bool("trace", false, "enable sampled causal tracing (exported on /debug/traces when -metrics is set)")
 	traceSample := flag.Int("trace-sample", 0, "root one trace per this many inbound bursts (0 = default 64)")
+	profileOn := flag.Bool("profile", false, "enable per-actor cost accounting (exported on /debug/profile when -metrics is set; see eactors-top)")
+	profileSample := flag.Int("profile-sample", 0, "measure one in this many seal/open operations (0 = default 16)")
+	profileOut := flag.String("profile-out", "", "append periodic cost-model snapshots to this JSONL file (enables -profile)")
+	profileInterval := flag.Duration("profile-interval", 5*time.Second, "snapshot period for -profile-out")
 	flag.Parse()
+	if *profileOut != "" {
+		*profileOn = true
+	}
 
 	var encKey *[ecrypto.KeySize]byte
 	if *encrypt {
@@ -74,20 +82,22 @@ func run() error {
 	}
 
 	srv, err := kv.Start(kv.Options{
-		ListenAddr:        *listen,
-		Shards:            *shards,
-		Trusted:           *trusted,
-		Switchless:        *switchless,
-		Dir:               *dir,
-		StoreSize:         *storeSize,
-		EncryptionKey:     encKey,
-		FlushInterval:     *flush,
-		SessionWindow:     *sessionWindow,
-		ReplayWindow:      *replayWindow,
-		DisablePipelining: *noPipeline,
-		Telemetry:         *metrics != "",
-		Trace:             *traceOn,
-		TraceSampleEvery:  *traceSample,
+		ListenAddr:         *listen,
+		Shards:             *shards,
+		Trusted:            *trusted,
+		Switchless:         *switchless,
+		Dir:                *dir,
+		StoreSize:          *storeSize,
+		EncryptionKey:      encKey,
+		FlushInterval:      *flush,
+		SessionWindow:      *sessionWindow,
+		ReplayWindow:       *replayWindow,
+		DisablePipelining:  *noPipeline,
+		Telemetry:          *metrics != "",
+		Trace:              *traceOn,
+		TraceSampleEvery:   *traceSample,
+		Profile:            *profileOn,
+		ProfileSampleEvery: *profileSample,
 		NetLoop: netloop.Config{
 			Enabled:     *netloopOn,
 			Pollers:     *netloopPollers,
@@ -101,7 +111,8 @@ func run() error {
 	fmt.Printf("kvserver: listening on %s (shards=%d trusted=%v switchless=%v encrypted=%v dir=%q netloop=%v)\n",
 		srv.Addr(), *shards, *trusted, *switchless && *trusted, encKey != nil, *dir, *netloopOn)
 	if *metrics != "" {
-		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
+		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(),
+			telemetry.WithTraces(srv.Tracer()), telemetry.WithProfile(srv.ProfileSource()))
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
@@ -110,6 +121,24 @@ func run() error {
 		if *traceOn {
 			fmt.Printf("kvserver: traces on http://%s/debug/traces (Chrome trace-event JSON)\n", bound)
 		}
+		if *profileOn {
+			fmt.Printf("kvserver: cost profiles on http://%s/debug/profile (watch with eactors-top)\n", bound)
+		}
+	}
+	if *profileOut != "" {
+		f, err := os.OpenFile(*profileOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("profile snapshot file: %w", err)
+		}
+		defer f.Close()
+		snap := profile.NewSnapshotter(srv.CostProfile, f, *profileInterval)
+		snap.Start()
+		defer func() {
+			if err := snap.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "kvserver: profile snapshots:", err)
+			}
+		}()
+		fmt.Printf("kvserver: cost-model snapshots every %s to %s\n", *profileInterval, *profileOut)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -77,15 +79,21 @@ func run() error {
 	s2s := flag.Bool("s2s", false, "drive a framed server-to-server federation endpoint instead of the client protocol")
 	depth := flag.Int("depth", 32, "stanzas kept in flight per federation link (with -s2s)")
 	idleConns := flag.Int("idle-conns", 0, "idle connections held open for the whole run (readiness-loop scaling ballast)")
+	flag.BoolVar(&jsonOut, "json", false, "print the results as one JSON object on stdout (progress goes to stderr)")
 	flag.Parse()
 	if *server == "" {
 		return fmt.Errorf("-server is required")
 	}
 
+	// With -json, stdout carries exactly one JSON object; everything
+	// else goes to stderr so scripted sweeps can pipe straight into jq.
+	if jsonOut {
+		info = os.Stderr
+	}
 	if limit, err := fdlimit.Raise(); err != nil {
-		fmt.Printf("xmppload: fd limit %d (raise failed: %v)\n", limit, err)
+		fmt.Fprintf(info, "xmppload: fd limit %d (raise failed: %v)\n", limit, err)
 	} else if limit > 0 {
-		fmt.Printf("xmppload: fd limit %d\n", limit)
+		fmt.Fprintf(info, "xmppload: fd limit %d\n", limit)
 	}
 	if *idleConns > 0 {
 		closeIdle, err := openIdleConns(*server, *idleConns)
@@ -93,7 +101,7 @@ func run() error {
 			return err
 		}
 		defer closeIdle()
-		fmt.Printf("xmppload: holding %d idle connections\n", *idleConns)
+		fmt.Fprintf(info, "xmppload: holding %d idle connections\n", *idleConns)
 	}
 	if *s2s {
 		return runS2S(*server, *clients, *depth, *payload, *warmup, *duration)
@@ -115,7 +123,7 @@ func runS2S(server string, links, depth, payloadBytes int, warmup, duration time
 		depth = 1
 	}
 	payload := makePayload(payloadBytes)
-	fmt.Printf("xmppload: s2s against %s, %d links x depth %d, %v warmup + %v measure\n",
+	fmt.Fprintf(info, "xmppload: s2s against %s, %d links x depth %d, %v warmup + %v measure\n",
 		server, links, depth, warmup, duration)
 
 	var acked, errs atomic.Uint64
@@ -184,6 +192,9 @@ func runS2S(server string, links, depth, payloadBytes int, warmup, duration time
 	wg.Wait()
 
 	total := acked.Load()
+	if jsonOut {
+		return emitJSON("s2s", total, duration, float64(total)/duration.Seconds(), errs.Load(), links, depth, rec)
+	}
 	fmt.Printf("throughput: %.0f stanzas/s (%d acked, %d errors)\n",
 		float64(total)/duration.Seconds(), total, errs.Load())
 	fmt.Printf("latency:    p50=%v p95=%v p99=%v (%d samples)\n",
@@ -233,7 +244,7 @@ func runO2O(server string, clients, payloadBytes int, warmup, duration time.Dura
 	pairs := clients / 2
 	payload := makePayload(payloadBytes)
 
-	fmt.Printf("xmppload: O2O against %s, %d clients (%d pairs), %v warmup + %v measure\n",
+	fmt.Fprintf(info, "xmppload: O2O against %s, %d clients (%d pairs), %v warmup + %v measure\n",
 		server, clients, pairs, warmup, duration)
 
 	receivers := make([]*client.Client, pairs)
@@ -312,6 +323,9 @@ func runO2O(server string, clients, payloadBytes int, warmup, duration time.Dura
 	wg.Wait()
 
 	total := completed.Load()
+	if jsonOut {
+		return emitJSON("o2o", total, duration, float64(total)/duration.Seconds(), 0, clients, 0, rec)
+	}
 	fmt.Printf("throughput: %.0f req/s (%d requests in %v)\n",
 		float64(total)/duration.Seconds(), total, duration)
 	fmt.Printf("latency:    p50=%v p95=%v p99=%v (%d samples)\n",
@@ -327,7 +341,7 @@ func runGroup(server, room string, members, payloadBytes int, warmup, duration t
 		members = 2
 	}
 	payload := makePayload(payloadBytes)
-	fmt.Printf("xmppload: group %q against %s, %d members, %v warmup + %v measure\n",
+	fmt.Fprintf(info, "xmppload: group %q against %s, %d members, %v warmup + %v measure\n",
 		room, server, members, warmup, duration)
 
 	clients := make([]*client.Client, members)
@@ -399,6 +413,9 @@ func runGroup(server, room string, members, payloadBytes int, warmup, duration t
 
 	total := delivered.Load()
 	perReq := float64(total) / float64(members-1)
+	if jsonOut {
+		return emitJSON("group", total, duration, perReq/duration.Seconds(), 0, members, 0, rec)
+	}
 	fmt.Printf("throughput: %.0f group msg/s (%d deliveries to %d members)\n",
 		perReq/duration.Seconds(), total, members-1)
 	fmt.Printf("first-delivery latency: p50=%v p95=%v p99=%v\n",
@@ -406,4 +423,43 @@ func runGroup(server, room string, members, payloadBytes int, warmup, duration t
 		rec.percentile(0.95).Round(time.Microsecond),
 		rec.percentile(0.99).Round(time.Microsecond))
 	return nil
+}
+
+// jsonOut and info implement the -json results contract: with -json,
+// stdout is exactly one loadResult object and progress goes to stderr.
+var (
+	jsonOut bool
+	info    io.Writer = os.Stdout
+)
+
+// loadResult matches kvload's -json schema: throughput plus latency
+// percentiles, all durations in nanoseconds.
+type loadResult struct {
+	Tool       string  `json:"tool"`
+	Mode       string  `json:"mode,omitempty"`
+	Ops        uint64  `json:"ops"`
+	DurationNs int64   `json:"duration_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Errors     uint64  `json:"errors"`
+	Clients    int     `json:"clients"`
+	Depth      int     `json:"depth,omitempty"`
+	P50Ns      int64   `json:"p50_ns"`
+	P95Ns      int64   `json:"p95_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+}
+
+func emitJSON(mode string, ops uint64, duration time.Duration, opsPerSec float64, errs uint64, clients, depth int, rec *latencyRecorder) error {
+	return json.NewEncoder(os.Stdout).Encode(loadResult{
+		Tool:       "xmppload",
+		Mode:       mode,
+		Ops:        ops,
+		DurationNs: duration.Nanoseconds(),
+		OpsPerSec:  opsPerSec,
+		Errors:     errs,
+		Clients:    clients,
+		Depth:      depth,
+		P50Ns:      rec.percentile(0.50).Nanoseconds(),
+		P95Ns:      rec.percentile(0.95).Nanoseconds(),
+		P99Ns:      rec.percentile(0.99).Nanoseconds(),
+	})
 }

@@ -21,6 +21,7 @@ import (
 
 	"github.com/eactors/eactors-go/internal/netloop"
 	"github.com/eactors/eactors-go/internal/pos"
+	"github.com/eactors/eactors-go/internal/profile"
 	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/xmpp"
 )
@@ -46,10 +47,17 @@ func run() error {
 	metrics := flag.String("metrics", "", "serve telemetry over HTTP at this address, e.g. :9090 (enables telemetry)")
 	traceOn := flag.Bool("trace", false, "enable sampled causal tracing (exported on /debug/traces when -metrics is set)")
 	traceSample := flag.Int("trace-sample", 0, "root one trace per this many inbound bursts (0 = default 64)")
+	profileOn := flag.Bool("profile", false, "enable per-actor cost accounting (exported on /debug/profile when -metrics is set; see eactors-top)")
+	profileSample := flag.Int("profile-sample", 0, "measure one in this many seal/open operations (0 = default 16)")
+	profileOut := flag.String("profile-out", "", "append periodic cost-model snapshots to this JSONL file (enables -profile)")
+	profileInterval := flag.Duration("profile-interval", 5*time.Second, "snapshot period for -profile-out")
 	directory := flag.Bool("directory", true, "keep the online directory in a sealed persistent object store (the paper's Section 5.1 design)")
 	s2s := flag.String("s2s", "", "also accept framed server-to-server federation links on this address, e.g. 127.0.0.1:5269 (empty = off)")
 	domain := flag.String("domain", "localhost", "local domain announced on federation links (with -s2s)")
 	flag.Parse()
+	if *profileOut != "" {
+		*profileOn = true
+	}
 
 	var dedicated []string
 	if *rooms != "" {
@@ -70,16 +78,18 @@ func run() error {
 		defer dirStore.Close()
 	}
 	srv, err := xmpp.Start(xmpp.Options{
-		ListenAddr:       *listen,
-		Shards:           *shards,
-		Trusted:          *trusted,
-		Switchless:       *switchless,
-		EnclaveCount:     *enclaves,
-		DedicatedRooms:   dedicated,
-		DirectoryStore:   dirStore,
-		Telemetry:        *metrics != "",
-		Trace:            *traceOn,
-		TraceSampleEvery: *traceSample,
+		ListenAddr:         *listen,
+		Shards:             *shards,
+		Trusted:            *trusted,
+		Switchless:         *switchless,
+		EnclaveCount:       *enclaves,
+		DedicatedRooms:     dedicated,
+		DirectoryStore:     dirStore,
+		Telemetry:          *metrics != "",
+		Trace:              *traceOn,
+		TraceSampleEvery:   *traceSample,
+		Profile:            *profileOn,
+		ProfileSampleEvery: *profileSample,
 		NetLoop: netloop.Config{
 			Enabled:     *netloopOn,
 			Pollers:     *netloopPollers,
@@ -101,7 +111,8 @@ func run() error {
 		fmt.Printf("xmppserver: s2s federation on %s (domain %q, framed transport)\n", s2sSrv.Addr(), *domain)
 	}
 	if *metrics != "" {
-		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(), telemetry.WithTraces(srv.Tracer()))
+		bound, stopHTTP, err := telemetry.Serve(*metrics, srv.Telemetry(),
+			telemetry.WithTraces(srv.Tracer()), telemetry.WithProfile(srv.ProfileSource()))
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
@@ -110,6 +121,24 @@ func run() error {
 		if *traceOn {
 			fmt.Printf("xmppserver: traces on http://%s/debug/traces (Chrome trace-event JSON)\n", bound)
 		}
+		if *profileOn {
+			fmt.Printf("xmppserver: cost profiles on http://%s/debug/profile (watch with eactors-top)\n", bound)
+		}
+	}
+	if *profileOut != "" {
+		f, err := os.OpenFile(*profileOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("profile snapshot file: %w", err)
+		}
+		defer f.Close()
+		snap := profile.NewSnapshotter(srv.CostProfile, f, *profileInterval)
+		snap.Start()
+		defer func() {
+			if err := snap.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "xmppserver: profile snapshots:", err)
+			}
+		}()
+		fmt.Printf("xmppserver: cost-model snapshots every %s to %s\n", *profileInterval, *profileOut)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"github.com/eactors/eactors-go/internal/mem"
+	"github.com/eactors/eactors-go/internal/profile"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/trace"
@@ -68,6 +69,10 @@ type actorInstance struct {
 	self      *Self
 	worker    *Worker
 	endpoints map[string]*Endpoint
+
+	// cost is the actor's cost-accounting cell; nil unless
+	// Config.Profile was set.
+	cost *profile.ActorCell
 
 	// failed parks the actor after a body panic (blast-radius
 	// containment); failure records the panic value and dump captures

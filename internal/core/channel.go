@@ -9,6 +9,7 @@ import (
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/mem"
+	"github.com/eactors/eactors-go/internal/profile"
 	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/trace"
 )
@@ -137,6 +138,16 @@ type Endpoint struct {
 	scope *trace.Scope
 	owner int
 
+	// Cost accounting (all nil/zero unless Config.Profile): pc is the
+	// owning actor's cost cell, pcEdge this direction's communication-
+	// matrix edge, pcMask the seal/open clock-read sampling mask and
+	// pcTick its owner-thread-local counter. Counters are exact; clock
+	// reads are decimated 1-in-(pcMask+1) and extrapolated.
+	pc     *profile.ActorCell
+	pcEdge *profile.EdgeCell
+	pcMask uint32
+	pcTick uint32
+
 	// Switchless mode (Config.Switchless, encrypted channels only):
 	// sw is this endpoint's egress direction — sends post plain records
 	// onto its call ring instead of sealing here — and swRx its ingress
@@ -202,6 +213,42 @@ func (e *Endpoint) maybeSample() time.Time {
 		return time.Time{}
 	}
 	return time.Now()
+}
+
+// pcSample decides whether this operation's seal/open pays the clock
+// reads for cost accounting: it returns 0 to skip, or the sampling
+// period to multiply the measured duration by (extrapolation). The
+// tick is owner-thread-local like sampleTick.
+func (e *Endpoint) pcSample() uint32 {
+	if e.pc == nil {
+		return 0
+	}
+	e.pcTick++
+	if e.pcTick&e.pcMask != 0 {
+		return 0
+	}
+	return e.pcMask + 1
+}
+
+// pcSent charges a successful send of msgs messages totalling bytes
+// plaintext bytes to the owning actor and this direction's edge.
+func (e *Endpoint) pcSent(msgs, bytes int) {
+	if e.pc == nil {
+		return
+	}
+	e.pc.MsgsSent.Add(uint64(msgs))
+	e.pc.BytesSent.Add(uint64(bytes))
+	e.pcEdge.Msgs.Add(uint64(msgs))
+	e.pcEdge.Bytes.Add(uint64(bytes))
+}
+
+// pcRecv charges delivered inbound messages to the owning actor.
+func (e *Endpoint) pcRecv(msgs, bytes int) {
+	if e.pc == nil || msgs == 0 {
+		return
+	}
+	e.pc.MsgsRecv.Add(uint64(msgs))
+	e.pc.BytesRecv.Add(uint64(bytes))
 }
 
 // noteSent traces a successful send of n messages. Traffic totals come
@@ -426,8 +473,9 @@ func (e *Endpoint) Send(payload []byte) error {
 			e.scratch = trace.AppendHeader(append(e.scratch[:0], payload...), tctx)
 			plain = e.scratch
 		}
+		pscale := e.pcSample()
 		var sealStart time.Time
-		if !start.IsZero() || !tstart.IsZero() {
+		if !start.IsZero() || !tstart.IsZero() || pscale > 0 {
 			sealStart = time.Now()
 		}
 		blob := e.cipher.Seal(node.Buf()[:0], plain, nil)
@@ -435,7 +483,14 @@ func (e *Endpoint) Send(payload []byte) error {
 			if !start.IsZero() {
 				e.m.sealNs.ObserveSince(sealStart)
 			}
+			if pscale > 0 {
+				e.pc.SealNs.Add(uint64(time.Since(sealStart)) * uint64(pscale))
+			}
 			e.traceSeal(tctx, sealStart)
+		}
+		if e.pc != nil {
+			e.pc.SealOps.Add(1)
+			e.pc.SealBytes.Add(uint64(len(payload)))
 		}
 		if e.tr != nil {
 			e.noteScratchUse(len(plain))
@@ -464,6 +519,7 @@ func (e *Endpoint) Send(payload []byte) error {
 		return ErrMailboxFull
 	}
 	e.sent.Add(1)
+	e.pcSent(1, len(payload))
 	e.noteSent(1, start)
 	e.traceSendEnd(tctx, tparent, tstart)
 	e.wakePeer(act)
@@ -548,12 +604,14 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 	}
 	start := e.maybeSample()
 	tctx, tparent, tstart := e.traceSendStart()
+	plen := node.Len() // plaintext size, before an in-place seal overwrites it
 	if e.cipher != nil {
 		if node.Len() > e.MaxPayload() {
 			return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, node.Len(), e.MaxPayload())
 		}
+		pscale := e.pcSample()
 		var sealStart time.Time
-		if !start.IsZero() || !tstart.IsZero() {
+		if !start.IsZero() || !tstart.IsZero() || pscale > 0 {
 			sealStart = time.Now()
 		}
 		e.scratch = append(e.scratch[:0], node.Payload()...)
@@ -565,7 +623,14 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 			if !start.IsZero() {
 				e.m.sealNs.ObserveSince(sealStart)
 			}
+			if pscale > 0 {
+				e.pc.SealNs.Add(uint64(time.Since(sealStart)) * uint64(pscale))
+			}
 			e.traceSeal(tctx, sealStart)
+		}
+		if e.pc != nil {
+			e.pc.SealOps.Add(1)
+			e.pc.SealBytes.Add(uint64(plen))
 		}
 		if e.injectSealCorrupt() {
 			corruptSealed(blob)
@@ -587,6 +652,7 @@ func (e *Endpoint) SendNode(node *mem.Node) error {
 		return ErrMailboxFull
 	}
 	e.sent.Add(1)
+	e.pcSent(1, plen)
 	e.noteSent(1, start)
 	e.traceSendEnd(tctx, tparent, tstart)
 	e.wakePeer(act)
@@ -659,8 +725,12 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 		e.sendFailures.Add(1)
 		return 0, ErrPoolEmpty
 	}
+	var pscale uint32
+	if e.cipher != nil {
+		pscale = e.pcSample()
+	}
 	var sealStart time.Time
-	if (!start.IsZero() || !tstart.IsZero()) && e.cipher != nil {
+	if (!start.IsZero() || !tstart.IsZero() || pscale > 0) && e.cipher != nil {
 		sealStart = time.Now()
 	}
 	var enq int64
@@ -701,7 +771,19 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 			// One timed pass over the burst, attributed per payload.
 			e.m.sealNs.Observe(uint64(time.Since(sealStart)) / uint64(got))
 		}
+		if pscale > 0 {
+			// One sampled batch stands for pscale batches of this size.
+			e.pc.SealNs.Add(uint64(time.Since(sealStart)) * uint64(pscale))
+		}
 		e.traceSeal(tctx, sealStart)
+	}
+	if e.pc != nil && e.cipher != nil {
+		sealBytes := 0
+		for i := 0; i < got; i++ {
+			sealBytes += len(payloads[i])
+		}
+		e.pc.SealOps.Add(uint64(got))
+		e.pc.SealBytes.Add(uint64(sealBytes))
 	}
 	sent := e.out.EnqueueBatch(nodes[:got])
 	if sent < got {
@@ -709,6 +791,13 @@ func (e *Endpoint) SendBatch(payloads [][]byte) (int, error) {
 	}
 	if sent > 0 {
 		e.sent.Add(uint64(sent))
+		if e.pc != nil {
+			sentBytes := 0
+			for i := 0; i < sent; i++ {
+				sentBytes += len(payloads[i])
+			}
+			e.pcSent(sent, sentBytes)
+		}
 		e.noteSent(sent, start)
 		if e.m != nil {
 			e.m.sendBatch.Observe(uint64(sent))
@@ -772,15 +861,17 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 			}
 		}
 	}
+	var pscale uint32
 	var sampled, openStart time.Time
 	if e.cipher != nil {
+		pscale = e.pcSample()
 		sampled = e.maybeSample()
 		openStart = sampled
-		if batchTraced && openStart.IsZero() {
+		if (batchTraced || pscale > 0) && openStart.IsZero() {
 			openStart = time.Now()
 		}
 	}
-	delivered, maxUse := 0, 0
+	delivered, maxUse, recvBytes, openBytes := 0, 0, 0, 0
 	var lastCtx trace.Ctx
 	var lastEnq int64
 	var firstErr error
@@ -798,6 +889,7 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 				continue
 			}
 			e.scratch = plain
+			openBytes += len(plain)
 			if len(plain) > maxUse {
 				maxUse = len(plain)
 			}
@@ -825,12 +917,21 @@ func (e *Endpoint) RecvBatch(bufs [][]byte, lens []int) (int, error) {
 			continue
 		}
 		lens[delivered] = copy(bufs[delivered], payload)
+		recvBytes += lens[delivered]
 		delivered++
 	}
 	if !sampled.IsZero() {
 		// One timed sweep over the burst, attributed per message.
 		e.m.openNs.Observe(uint64(time.Since(sampled)) / uint64(got))
 	}
+	if pscale > 0 {
+		e.pc.OpenNs.Add(uint64(time.Since(openStart)) * uint64(pscale))
+	}
+	if e.pc != nil && e.cipher != nil {
+		e.pc.OpenOps.Add(uint64(got))
+		e.pc.OpenBytes.Add(uint64(openBytes))
+	}
+	e.pcRecv(delivered, recvBytes)
 	if lastCtx.Traced() {
 		// Batch granularity: one dwell (and crossing/open, when sealed)
 		// for the burst, measured on its most recent traced message and
@@ -882,9 +983,10 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 			tid, _, enq = node.Trace()
 			hintTraced = tid != 0
 		}
+		pscale := e.pcSample()
 		sampled := e.maybeSample()
 		openStart := sampled
-		if hintTraced && openStart.IsZero() {
+		if (hintTraced || pscale > 0) && openStart.IsZero() {
 			openStart = time.Now()
 		}
 		plain, openErr := e.cipher.Open(e.scratch[:0], payload, nil)
@@ -893,6 +995,13 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 		}
 		if !sampled.IsZero() {
 			e.m.openNs.ObserveSince(sampled)
+		}
+		if pscale > 0 {
+			e.pc.OpenNs.Add(uint64(time.Since(openStart)) * uint64(pscale))
+		}
+		if e.pc != nil {
+			e.pc.OpenOps.Add(1)
+			e.pc.OpenBytes.Add(uint64(len(plain)))
 		}
 		e.scratch = plain
 		e.noteScratchUse(len(plain))
@@ -918,6 +1027,7 @@ func (e *Endpoint) Recv(buf []byte) (n int, ok bool, err error) {
 	if len(payload) > len(buf) {
 		return 0, true, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, len(payload), len(buf))
 	}
+	e.pcRecv(1, len(payload))
 	return copy(buf, payload), true, nil
 }
 
@@ -944,9 +1054,10 @@ func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
 			tid, _, enq = node.Trace()
 			hintTraced = tid != 0
 		}
+		pscale := e.pcSample()
 		sampled := e.maybeSample()
 		openStart := sampled
-		if hintTraced && openStart.IsZero() {
+		if (hintTraced || pscale > 0) && openStart.IsZero() {
 			openStart = time.Now()
 		}
 		plain, err := e.cipher.Open(e.scratch[:0], node.Payload(), nil)
@@ -956,6 +1067,13 @@ func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
 		}
 		if !sampled.IsZero() {
 			e.m.openNs.ObserveSince(sampled)
+		}
+		if pscale > 0 {
+			e.pc.OpenNs.Add(uint64(time.Since(openStart)) * uint64(pscale))
+		}
+		if e.pc != nil {
+			e.pc.OpenOps.Add(1)
+			e.pc.OpenBytes.Add(uint64(len(plain)))
 		}
 		if seqErr := e.checkSeq(node.Payload()); seqErr != nil {
 			_ = e.pool.Put(node)
@@ -980,6 +1098,7 @@ func (e *Endpoint) RecvNode() (*mem.Node, bool, error) {
 			e.traceRecvPlain(trace.Ctx{TraceID: tid, Span: span}, enq)
 		}
 	}
+	e.pcRecv(1, node.Len())
 	return node, true, nil
 }
 

@@ -177,6 +177,21 @@ type Config struct {
 	// rounding; trace.DefaultBufferSpans when zero).
 	TraceBufferSpans int
 
+	// Profile enables per-actor cost accounting (internal/profile):
+	// every actor gets a cost cell accumulating invoke CPU time, traffic
+	// per peer, enclave crossings, seal/open work and mailbox dwell, and
+	// Runtime.CostProfile snapshots the deployment-wide cost model.
+	// Independent of Telemetry and Trace (though dwell attribution needs
+	// Trace: it is folded from sampled dwell spans). Disabled, every
+	// site reduces to a nil check.
+	Profile bool
+
+	// ProfileSampleEvery decimates the seal/open clock reads: 1 in this
+	// many operations is timed and the result extrapolated (rounded up
+	// to a power of two; profile.DefaultSampleEvery when zero; 1 times
+	// every operation).
+	ProfileSampleEvery int
+
 	// Switchless enables asynchronous call rings with proxy workers on
 	// encrypted channels; see SwitchlessConfig.
 	Switchless SwitchlessConfig
@@ -287,6 +302,9 @@ func (c *Config) validate() error {
 	}
 	if c.TraceSampleEvery < 0 || c.TraceBufferSpans < 0 {
 		return fmt.Errorf("core: negative trace configuration")
+	}
+	if c.ProfileSampleEvery < 0 {
+		return fmt.Errorf("core: negative profile sample period")
 	}
 	if c.Switchless.Proxies < 0 || c.Switchless.SegmentMax < 0 || c.Switchless.SpinBudget < 0 {
 		return fmt.Errorf("core: negative switchless configuration")

@@ -34,6 +34,9 @@ import (
 //	               per-hop latency breakdown; needs Config.Trace, not
 //	               Config.Telemetry
 //	trace <n>      up to <n> most recent traces
+//	profile        per-actor cost profiles, communication edges and
+//	               per-enclave EPC attribution; needs Config.Profile,
+//	               not Config.Telemetry
 //
 // The monitor is an ordinary eactor: place it on a lightly loaded worker
 // and, if its answers must be confidential, inside an enclave (set
@@ -96,6 +99,11 @@ func (st *monitorState) answer(self *Self, query string) []byte {
 		writeTraces(&buf, self.Runtime(), strings.TrimSpace(arg))
 		return buf.Bytes()
 	}
+	if cmd == "profile" {
+		// Profiling is likewise independent of telemetry.
+		writeProfile(&buf, self.Runtime())
+		return buf.Bytes()
+	}
 	reg := self.Runtime().Telemetry()
 	if reg == nil {
 		return []byte("error: telemetry disabled (set Config.Telemetry)")
@@ -122,7 +130,7 @@ func (st *monitorState) answer(self *Self, query string) []byte {
 	case "dump":
 		st.writeDump(&buf, self, strings.TrimSpace(arg))
 	default:
-		fmt.Fprintf(&buf, "error: unknown query %q (stats|rates|report|dump [worker|actor]|trace [n])", query)
+		fmt.Fprintf(&buf, "error: unknown query %q (stats|rates|report|dump [worker|actor]|trace [n]|profile)", query)
 	}
 	return buf.Bytes()
 }
@@ -201,6 +209,38 @@ func writeTraces(buf *bytes.Buffer, rt *Runtime, arg string) {
 			fmt.Fprintf(buf, "  +%-12s %-28s worker=%-2d dur=%s\n",
 				time.Duration(s.Start-root), name, s.Worker, time.Duration(s.Dur))
 		}
+	}
+}
+
+// writeProfile renders the cost profile in the monitor's line-oriented
+// text form: one line per actor (hottest first — the snapshot orders
+// edges, actors keep config order so lines are stable), the traffic
+// edges and the enclave attribution.
+func writeProfile(buf *bytes.Buffer, rt *Runtime) {
+	if !rt.ProfileEnabled() {
+		buf.WriteString("error: profiling disabled (set Config.Profile)")
+		return
+	}
+	m := rt.CostProfile()
+	for _, a := range m.Actors {
+		fmt.Fprintf(buf, "actor %s worker=%d", a.Name, a.Worker)
+		if a.Enclave != "" {
+			fmt.Fprintf(buf, " enclave=%s", a.Enclave)
+		}
+		fmt.Fprintf(buf, " inv=%d invoke_ns=%d sent=%d recv=%d crossings=%d seal=%d/%dB open=%d/%dB",
+			a.Invocations, a.InvokeNs, a.MsgsSent, a.MsgsRecv, a.Crossings,
+			a.SealOps, a.SealBytes, a.OpenOps, a.OpenBytes)
+		if a.DwellSamples > 0 {
+			fmt.Fprintf(buf, " dwell_mean=%s", time.Duration(a.DwellNs/a.DwellSamples))
+		}
+		buf.WriteByte('\n')
+	}
+	for _, e := range m.Edges {
+		fmt.Fprintf(buf, "edge %s->%s channel=%s msgs=%d bytes=%d\n", e.Src, e.Dst, e.Channel, e.Msgs, e.Bytes)
+	}
+	for _, e := range m.Enclaves {
+		fmt.Fprintf(buf, "enclave %s pages=%d evicted=%d crossings=%d\n",
+			e.Name, e.PagesResident, e.EvictedPages, e.Crossings)
 	}
 }
 

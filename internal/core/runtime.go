@@ -8,6 +8,7 @@ import (
 	"github.com/eactors/eactors-go/internal/ecrypto"
 	"github.com/eactors/eactors-go/internal/faults"
 	"github.com/eactors/eactors-go/internal/mem"
+	"github.com/eactors/eactors-go/internal/profile"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/trace"
@@ -41,6 +42,10 @@ type Runtime struct {
 
 	// tr is the causal tracer; nil unless Config.Trace was set.
 	tr *trace.Tracer
+
+	// prof is the per-actor cost collector; nil unless Config.Profile
+	// was set.
+	prof *profile.Collector
 
 	// sw is the switchless subsystem (proxy workers and call rings);
 	// nil unless Config.Switchless.Enabled was set.
@@ -142,6 +147,9 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		// their own, after the worker rings.
 		rt.tr = trace.New(len(cfg.Workers)+cfg.Switchless.proxyCount(), cfg.TraceBufferSpans, cfg.TraceSampleEvery)
 	}
+	if cfg.Profile {
+		rt.prof = profile.NewCollector(cfg.ProfileSampleEvery)
+	}
 	if cfg.Faults != nil {
 		rt.flt = cfg.Faults
 		platform.AttachFaults(cfg.Faults)
@@ -170,6 +178,7 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 			return nil, err
 		}
 		rt.enclaves[es.Name] = e
+		rt.prof.RegisterEnclave(es.Name, e.PagesResident, e.EvictedPages)
 		if es.PrivatePoolNodes > 0 {
 			privArena, err := mem.NewArena(es.PrivatePoolNodes, nodePayload)
 			if err != nil {
@@ -197,6 +206,7 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 		}
 		rt.actors[spec.Name] = inst
 		rt.tr.NameActor(inst.tag, spec.Name)
+		inst.cost = rt.prof.RegisterActor(inst.tag, spec.Name, spec.Enclave, spec.Worker)
 	}
 
 	// Workers, with their actors in declaration order so that co-located
@@ -253,6 +263,9 @@ func NewRuntime(platform *sgx.Platform, cfg Config) (*Runtime, error) {
 
 	if rt.tel != nil {
 		rt.registerRuntimeFuncs()
+		if rt.prof != nil {
+			rt.registerProfileFuncs(cfg)
+		}
 	}
 
 	// Switchless mode last: its dirs hook into fully built endpoints,
@@ -301,6 +314,15 @@ func (rt *Runtime) buildChannel(cs ChannelSpec) error {
 		rt.tr.NameChannel(ch.tag, cs.Name)
 		epA.tr, epA.scope, epA.owner = rt.tr, &instA.scope, instA.spec.Worker
 		epB.tr, epB.scope, epB.owner = rt.tr, &instB.scope, instB.spec.Worker
+	}
+	if rt.prof != nil {
+		// Each direction gets its own communication-matrix edge; dwell
+		// spans recorded by a receiving worker for this channel resolve
+		// to the receiving actor.
+		epA.pc, epA.pcEdge, epA.pcMask = instA.cost, rt.prof.RegisterEdge(instA.tag, instB.tag, cs.Name), rt.prof.Mask()
+		epB.pc, epB.pcEdge, epB.pcMask = instB.cost, rt.prof.RegisterEdge(instB.tag, instA.tag, cs.Name), rt.prof.Mask()
+		rt.prof.RegisterDwell(ch.tag, instB.spec.Worker, instB.tag) // A→B messages dwell at B
+		rt.prof.RegisterDwell(ch.tag, instA.spec.Worker, instA.tag) // B→A messages dwell at A
 	}
 	if rt.m != nil {
 		// Endpoints are single-owner (their actor's worker), so each

@@ -789,6 +789,7 @@ func (e *Endpoint) sendPayloadSwitchless(payload []byte, act faults.Action) erro
 // transfers on success; on error the caller still owns the node.
 func (e *Endpoint) sendSwitchless(node *mem.Node, act faults.Action, start time.Time, tctx trace.Ctx, tparent uint32, tstart time.Time) error {
 	d := e.sw
+	plen := node.Len() // plaintext size: sealInline overwrites, Enqueue transfers ownership
 	if d.txInflight.Load() == 0 && d.sealed.Empty() && d.busyTx.CompareAndSwap(0, 1) {
 		// Re-check under the guard — including sealed.Empty(): a proxy
 		// pass between the lock-free checks and the CAS may have left a
@@ -803,6 +804,14 @@ func (e *Endpoint) sendSwitchless(node *mem.Node, act faults.Action, start time.
 			d.busyTx.Store(0)
 			d.inline.Add(1)
 			e.sent.Add(1)
+			if e.pc != nil {
+				// Inline (degraded) sends seal on this thread, so the op
+				// and bytes are attributable; ring posts are sealed by the
+				// proxy and carry no per-actor seal charge (DESIGN §15).
+				e.pc.SealOps.Add(1)
+				e.pc.SealBytes.Add(uint64(plen))
+			}
+			e.pcSent(1, plen)
 			e.noteSent(1, start)
 			e.traceSendEnd(tctx, tparent, tstart)
 			e.wakePeer(act)
@@ -824,6 +833,7 @@ func (e *Endpoint) sendSwitchless(node *mem.Node, act faults.Action, start time.
 		return ErrMailboxFull
 	}
 	e.sent.Add(1)
+	e.pcSent(1, plen)
 	d.ringPosts.Add(1)
 	e.noteSent(1, start)
 	e.traceSendEnd(tctx, tparent, tstart)
@@ -923,6 +933,7 @@ func (e *Endpoint) recvSwitchlessNode() (*mem.Node, bool) {
 	}
 	e.injectRecv()
 	e.received.Add(1)
+	e.pcRecv(1, node.Len())
 	e.noteRecv(1)
 	if e.tr != nil {
 		if tid, span, enq := node.Trace(); tid != 0 {
@@ -997,7 +1008,7 @@ func (e *Endpoint) recvBatchSwitchless(bufs [][]byte, lens []int) (int, error) {
 	if e.m != nil {
 		e.m.recvBatch.Observe(uint64(got))
 	}
-	delivered := 0
+	delivered, recvBytes := 0, 0
 	var lastCtx trace.Ctx
 	var lastEnq int64
 	var firstErr error
@@ -1016,8 +1027,10 @@ func (e *Endpoint) recvBatchSwitchless(bufs [][]byte, lens []int) (int, error) {
 			continue
 		}
 		lens[delivered] = copy(bufs[delivered], payload)
+		recvBytes += lens[delivered]
 		delivered++
 	}
+	e.pcRecv(delivered, recvBytes)
 	if lastCtx.Traced() {
 		e.traceRecvPlain(lastCtx, lastEnq)
 	}

@@ -123,13 +123,17 @@ func (w *Worker) invoke(a *actorInstance, crossed bool) {
 		// trace while the body that adopted it is on the stack.
 		a.scope.Clear()
 	}
-	if w.m == nil && w.tr == nil {
+	if w.m == nil && w.tr == nil && a.cost == nil {
 		a.spec.Body(a.self)
 		return
 	}
 	start := time.Now()
 	a.spec.Body(a.self)
 	elapsed := uint64(time.Since(start))
+	if a.cost != nil {
+		a.cost.Invocations.Add(1)
+		a.cost.InvokeNs.Add(elapsed)
+	}
 	if w.m != nil {
 		w.m.invocations.Inc(w.id)
 		w.m.invokeNs[w.id].Observe(elapsed)
@@ -340,9 +344,11 @@ func (w *Worker) run() {
 				restarting = true
 			}
 			crossed := false
-			if w.tr != nil {
+			if w.tr != nil || a.cost != nil {
 				// Track whether this placement move pays a transition, so
-				// a traced invocation can claim the crossing span.
+				// a traced invocation can claim the crossing span and the
+				// cost profile charges it to the actor whose placement
+				// caused it.
 				pre := w.ctx.Crossings()
 				if a.enclave != nil {
 					if err := w.ctx.Enter(a.enclave); err != nil {
@@ -354,7 +360,12 @@ func (w *Worker) run() {
 				} else {
 					w.ctx.Exit()
 				}
-				crossed = w.ctx.Crossings() != pre
+				if delta := w.ctx.Crossings() - pre; delta != 0 {
+					crossed = true
+					if a.cost != nil {
+						a.cost.Crossings.Add(delta)
+					}
+				}
 			} else if a.enclave != nil {
 				if err := w.ctx.Enter(a.enclave); err != nil {
 					continue

@@ -11,6 +11,7 @@ import (
 	"github.com/eactors/eactors-go/internal/netactors"
 	"github.com/eactors/eactors-go/internal/netloop"
 	"github.com/eactors/eactors-go/internal/pos"
+	"github.com/eactors/eactors-go/internal/profile"
 	"github.com/eactors/eactors-go/internal/sgx"
 	"github.com/eactors/eactors-go/internal/telemetry"
 	"github.com/eactors/eactors-go/internal/trace"
@@ -87,6 +88,12 @@ type Options struct {
 	// TraceSampleEvery roots one trace per this many inbound bursts
 	// (trace.DefaultSampleEvery when zero).
 	TraceSampleEvery int
+	// Profile enables per-actor cost accounting (independent of
+	// Telemetry and Trace); see Server.CostProfile.
+	Profile bool
+	// ProfileSampleEvery decimates the profile's seal/open clock reads
+	// (profile.DefaultSampleEvery when zero).
+	ProfileSampleEvery int
 	// Faults arms the runtime's deterministic fault injector; nil in
 	// production.
 	Faults *faults.Injector
@@ -137,6 +144,20 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.rt.Telemetry() }
 // Tracer returns the runtime's causal tracer, or nil when Options.Trace
 // was not set.
 func (s *Server) Tracer() *trace.Tracer { return s.rt.Tracer() }
+
+// CostProfile captures the runtime's per-actor cost-model snapshot
+// (empty when Options.Profile was not set).
+func (s *Server) CostProfile() profile.Model { return s.rt.CostProfile() }
+
+// ProfileSource returns the snapshot source for telemetry.WithProfile,
+// or nil when Options.Profile was not set — nil keeps /debug/profile
+// unmounted, so callers can pass it unconditionally.
+func (s *Server) ProfileSource() func() profile.Model {
+	if !s.rt.ProfileEnabled() {
+		return nil
+	}
+	return s.rt.CostProfile
+}
 
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() Stats {
@@ -261,13 +282,15 @@ func (srv *Server) buildConfig(opts Options) (core.Config, chan string) {
 	addrCh := make(chan string, 1)
 
 	cfg := core.Config{
-		PoolNodes:        opts.PoolNodes,
-		NodePayload:      opts.NodePayload,
-		Telemetry:        opts.Telemetry,
-		Trace:            opts.Trace,
-		TraceSampleEvery: opts.TraceSampleEvery,
-		Faults:           opts.Faults,
-		Switchless:       core.SwitchlessConfig{Enabled: opts.Switchless && opts.Trusted},
+		PoolNodes:          opts.PoolNodes,
+		NodePayload:        opts.NodePayload,
+		Telemetry:          opts.Telemetry,
+		Trace:              opts.Trace,
+		TraceSampleEvery:   opts.TraceSampleEvery,
+		Profile:            opts.Profile,
+		ProfileSampleEvery: opts.ProfileSampleEvery,
+		Faults:             opts.Faults,
+		Switchless:         core.SwitchlessConfig{Enabled: opts.Switchless && opts.Trusted},
 	}
 	cfg.Workers = make([]core.WorkerSpec, 2+shards)
 	frontWorker, netWorker := 0, 1

@@ -1,0 +1,53 @@
+package profile
+
+import "github.com/eactors/eactors-go/internal/trace"
+
+// FoldSpans folds sampled trace spans into cost cells: today that means
+// mailbox-dwell spans (KindDwell), which only the tracer can see —
+// dwell is the gap between enqueue and dequeue, and neither endpoint
+// operation alone spans it. A dwell span is recorded by the receiving
+// endpoint's owner worker with Ref = channel tag, so the dwell
+// registration map resolves it to the receiving actor.
+//
+// Folding is idempotent across overlapping snapshots: span IDs are
+// globally monotonic (trace.Tracer.NextSpan, never zero), so a
+// high-water mark skips spans already folded by a previous call. The
+// comparison is wrap-safe. Spans torn by a concurrent ring writer show
+// as negative durations and are dropped. A span that lands in the ring
+// after the snapshot that should have carried it but before the
+// high-water mark advances past it is folded by a later call — the
+// mark only advances over spans actually seen — so the folder
+// undercounts transiently, never double-counts.
+func (c *Collector) FoldSpans(spans []trace.Span) {
+	if c == nil || len(spans) == 0 {
+		return
+	}
+	c.foldMu.Lock()
+	defer c.foldMu.Unlock()
+	hw := c.foldHW
+	maxSeen := hw
+	for _, s := range spans {
+		if s.ID == 0 || int32(s.ID-hw) <= 0 {
+			continue // already folded (or invalid slot)
+		}
+		if int32(s.ID-maxSeen) > 0 {
+			maxSeen = s.ID
+		}
+		if s.Kind != trace.KindDwell || s.Dur < 0 {
+			continue
+		}
+		c.mu.Lock()
+		tag, ok := c.dwell[uint64(s.Ref)<<32|uint64(uint32(s.Worker))]
+		var cell *ActorCell
+		if ok {
+			cell = c.actorCellLocked(tag)
+		}
+		c.mu.Unlock()
+		if cell == nil {
+			continue
+		}
+		cell.DwellNs.Add(uint64(s.Dur))
+		cell.DwellSamples.Add(1)
+	}
+	c.foldHW = maxSeen
+}

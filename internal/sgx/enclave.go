@@ -27,8 +27,9 @@ type Enclave struct {
 	meas     Measurement
 	sealKey  [32]byte
 
-	pages atomic.Int64
-	drbg  *drbg
+	pages   atomic.Int64
+	evicted atomic.Uint64
+	drbg    *drbg
 
 	// tcsLimit is the number of thread control structures (concurrent
 	// threads the enclave admits); occupancy tracks current residents.
@@ -97,6 +98,11 @@ func (e *Enclave) Platform() *Platform { return e.platform }
 // PagesResident reports the EPC pages currently accounted to the enclave.
 func (e *Enclave) PagesResident() int64 { return e.pages.Load() }
 
+// EvictedPages reports the cumulative pages evicted under EPC pressure
+// that were charged to this enclave (allocation overflow and touch
+// misses alike) — the per-enclave share of Platform stats' evictions.
+func (e *Enclave) EvictedPages() uint64 { return e.evicted.Load() }
+
 // AllocPages accounts n EPC pages to the enclave. If the platform-wide
 // budget is exceeded, the eviction (re-encryption) penalty is charged for
 // every page past the budget, reproducing SGX paging degradation.
@@ -116,6 +122,7 @@ func (e *Enclave) AllocPages(n int) error {
 			evict = over
 		}
 		p.evictedPages.Add(uint64(evict))
+		e.evicted.Add(uint64(evict))
 		p.noteEviction(e.id, evict)
 		p.costs.ChargeCycles(float64(evict) * float64(p.costs.PageEvictCycles))
 	}
@@ -156,6 +163,7 @@ func (e *Enclave) TouchPages(n int) {
 		return
 	}
 	p.evictedPages.Add(uint64(misses))
+	e.evicted.Add(uint64(misses))
 	p.noteEviction(e.id, misses)
 	p.costs.ChargeCycles(float64(misses) * float64(p.costs.PageEvictCycles))
 }

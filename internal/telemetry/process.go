@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// processStart anchors the uptime gauge at package init — close enough
+// to process start for the exporter's purposes.
+var processStart = time.Now()
+
+// RegisterProcessMetrics registers process-level self-metrics next to
+// the runtime counters, so a Prometheus scrape of an eactors service
+// carries its own context (build, uptime, memory, GC) without a
+// sidecar node exporter:
+//
+//	eactors_build_info{go_version="..."}  constant 1
+//	eactors_process_uptime_seconds        seconds since process start
+//	eactors_process_goroutines            live goroutines
+//	eactors_process_rss_bytes             resident set size
+//	eactors_process_gc_pause_p99_ns       99th-percentile GC pause
+//
+// Registration is idempotent (the registry dedupes by name) and a nil
+// registry is a no-op, matching the rest of the package.
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("eactors_build_info{go_version=\""+runtime.Version()+"\"}",
+		"build metadata carried in labels", func() uint64 { return 1 })
+	r.GaugeFunc("eactors_process_uptime_seconds", "seconds since process start",
+		func() uint64 { return uint64(time.Since(processStart).Seconds()) })
+	r.GaugeFunc("eactors_process_goroutines", "live goroutines",
+		func() uint64 { return uint64(runtime.NumGoroutine()) })
+	r.GaugeFunc("eactors_process_rss_bytes", "resident set size",
+		func() uint64 { return rssBytes() })
+	r.GaugeFunc("eactors_process_gc_pause_p99_ns", "99th-percentile GC stop-the-world pause",
+		func() uint64 { return gcPauseP99Ns() })
+}
+
+// rssBytes reads the resident set from /proc/self/statm (field 2, in
+// pages). Off Linux — or if the read fails — it falls back to the Go
+// heap's OS-claimed bytes, which overstates shared pages but keeps the
+// gauge meaningful.
+func rssBytes() uint64 {
+	if data, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(data))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+				return pages * uint64(os.Getpagesize())
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Sys
+}
+
+// gcPauseP99Ns walks the runtime/metrics GC pause histogram for its
+// 99th percentile. Returns 0 until the first GC.
+func gcPauseP99Ns() uint64 {
+	sample := []metrics.Sample{{Name: "/sched/pauses/total/gc:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+		// Older runtimes expose the histogram under the pre-1.21 name.
+		sample[0].Name = "/gc/pauses:seconds"
+		metrics.Read(sample)
+		if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+			return 0
+		}
+	}
+	h := sample[0].Value.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total) * 0.99)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Buckets[i+1] is the bucket's upper edge; the last bucket's
+			// edge can be +Inf, where the lower edge is the best answer.
+			edge := h.Buckets[i+1]
+			if edge > 1e9 || edge != edge { // +Inf or NaN guard
+				edge = h.Buckets[i]
+			}
+			return uint64(edge * 1e9)
+		}
+	}
+	return 0
+}

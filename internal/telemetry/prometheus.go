@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/eactors/eactors-go/internal/profile"
 	"github.com/eactors/eactors-go/internal/trace"
 )
 
@@ -99,7 +100,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 type ServeOption func(*serveConfig)
 
 type serveConfig struct {
-	tracer *trace.Tracer
+	tracer  *trace.Tracer
+	profile func() profile.Model
 }
 
 // WithTraces mounts /debug/traces on the handler: a snapshot of the
@@ -110,12 +112,22 @@ func WithTraces(t *trace.Tracer) ServeOption {
 	return func(c *serveConfig) { c.tracer = t }
 }
 
+// WithProfile mounts /debug/profile on the handler: the current
+// per-actor cost-model snapshot (profile.SnapshotVersion JSON, the
+// same record the JSONL snapshotter writes). src is typically
+// Runtime.CostProfile; a nil src serves 404 so callers can mount
+// conditionally without branching.
+func WithProfile(src func() profile.Model) ServeOption {
+	return func(c *serveConfig) { c.profile = src }
+}
+
 // Handler returns an HTTP handler exposing the registry:
 //
 //	/metrics        Prometheus text format
 //	/dump           flight-recorder dumps (all workers, relative time)
 //	/debug/traces   sampled causal traces, Chrome trace-event JSON
 //	                (with WithTraces)
+//	/debug/profile  per-actor cost-model snapshot JSON (with WithProfile)
 //	/debug/pprof/*  the standard Go profiles
 //
 // It deliberately avoids http.DefaultServeMux so embedding applications
@@ -125,7 +137,18 @@ func Handler(r *Registry, opts ...ServeOption) http.Handler {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Process self-metrics ride along on every handler; addFunc dedupes
+	// by name, so repeated Handler calls over one registry are harmless.
+	RegisterProcessMetrics(r)
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.profile == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.profile().Encode(w)
+	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = cfg.tracer.WriteChrome(w)
